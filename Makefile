@@ -1,0 +1,36 @@
+# Convenience targets for the Locus transaction facility reproduction.
+
+GO ?= go
+
+.PHONY: all test race bench experiments examples tools clean
+
+all: test
+
+test:            ## run the full test suite
+	$(GO) test ./...
+
+race:            ## run the suite under the race detector
+	$(GO) test -race ./...
+
+bench:           ## regenerate every paper table/figure via testing.B
+	$(GO) test -bench=. -benchmem .
+
+experiments:     ## print every experiment as paper-style tables
+	$(GO) run ./cmd/locusbench
+
+experiments.md:  ## refresh the measured tables in EXPERIMENTS.md format
+	$(GO) run ./cmd/locusbench -markdown
+
+examples:        ## run all runnable examples
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/banking
+	$(GO) run ./examples/migration
+	$(GO) run ./examples/deadlock
+	$(GO) run ./examples/sharedlog
+	$(GO) run ./examples/minidb
+
+tools:           ## build the command-line tools
+	$(GO) build ./cmd/...
+
+cover:           ## coverage summary per package
+	$(GO) test -cover ./internal/...

@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+// TestRunSmoke drives the whole demonstration end to end; its assertions
+// are the error paths inside run itself (deadlock staged and resolved,
+// survivor committed).
+func TestRunSmoke(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,423 @@
+// Command locusbench regenerates every table and figure of the paper's
+// evaluation (section 6) and prints them as paper-style tables with the
+// reported 1985 values alongside.
+//
+// Usage:
+//
+//	locusbench                 # run every experiment
+//	locusbench -exp fig5       # one experiment: fig1 fig5 lock fig6
+//	                           # pagesize shadowlog preplog lockcache
+//	                           # replica prefetch fn7 recovery
+//	locusbench -markdown       # emit Markdown tables (for EXPERIMENTS.md)
+//	locusbench -model modern   # re-run under a contemporary cost model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/costmodel"
+	"repro/internal/lockmgr"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+var (
+	expFlag  = flag.String("exp", "all", "experiment to run: all, fig1, fig5, lock, fig6, pagesize, shadowlog, preplog, lockcache, replica, prefetch, fn7, recovery")
+	markdown = flag.Bool("markdown", false, "emit Markdown tables")
+	model    = flag.String("model", "vax750", "cost model: vax750 (the paper's testbed) or modern")
+)
+
+func main() {
+	flag.Parse()
+	switch *model {
+	case "vax750":
+		// The default; bench.Vax is already the calibrated 1985 model.
+	case "modern":
+		bench.Vax = costmodel.Modern()
+		fmt.Println("cost model: modern-nvme-10g (absolute numbers shrink ~1000x; the shapes - who wins, where crossovers fall - should not)")
+	default:
+		fmt.Fprintf(os.Stderr, "unknown model %q (want vax750 or modern)"+"\n", *model)
+		os.Exit(2)
+	}
+	exps := map[string]func() error{
+		"fig1":        fig1,
+		"fig5":        fig5,
+		"lock":        lockCost,
+		"fig6":        fig6,
+		"pagesize":    pageSize,
+		"shadowlog":   shadowLog,
+		"preplog":     prepLog,
+		"lockcache":   lockCache,
+		"replica":     replica,
+		"prefetch":    prefetch,
+		"fn7":         fn7,
+		"granularity": granularity,
+		"recovery":    recovery,
+	}
+	order := []string{"fig1", "fig5", "lock", "fig6", "pagesize", "shadowlog", "preplog", "lockcache", "replica", "prefetch", "fn7", "granularity", "recovery"}
+	if *expFlag != "all" {
+		fn, ok := exps[*expFlag]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want one of: all %s)\n", *expFlag, strings.Join(order, " "))
+			os.Exit(2)
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, name := range order {
+		if err := exps[name](); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// table prints rows with a header; in Markdown mode it emits a pipe
+// table, otherwise an aligned text table.
+func table(title string, header []string, rows [][]string) {
+	fmt.Printf("\n## %s\n\n", title)
+	if *markdown {
+		fmt.Println("| " + strings.Join(header, " | ") + " |")
+		seps := make([]string, len(header))
+		for i := range seps {
+			seps[i] = "---"
+		}
+		fmt.Println("| " + strings.Join(seps, " | ") + " |")
+		for _, r := range rows {
+			fmt.Println("| " + strings.Join(r, " | ") + " |")
+		}
+		return
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(header, "\t"))
+	for _, r := range rows {
+		fmt.Fprintln(w, strings.Join(r, "\t"))
+	}
+	w.Flush()
+}
+
+// fig1 prints the lock compatibility matrix by probing a live lock table
+// (experiment E1).
+func fig1() error {
+	type probe struct {
+		name string
+		mode lockmgr.Mode // ModeNone = Unix (unlocked access)
+	}
+	modes := []probe{{"Unix", lockmgr.ModeNone}, {"Shared", lockmgr.ModeShared}, {"Exclusive", lockmgr.ModeExclusive}}
+	cell := func(held, req probe) string {
+		fl := lockmgr.NewFileLocks("probe", nil, stats.NewSet())
+		holder := lockmgr.Holder{PID: 1, Txn: "H"}
+		requester := lockmgr.Holder{PID: 2, Txn: "R"}
+		if held.mode == lockmgr.ModeNone && req.mode != lockmgr.ModeNone {
+			// Unix access is not a persistent table entry; the matrix
+			// cell expresses concurrency: grant the requested lock, then
+			// ask what unlocked access remains possible for the Unix
+			// side (enforced at access time, Figure 1).
+			if _, err := fl.Lock(lockmgr.Request{Holder: requester, Mode: req.mode, Off: 0, Len: 10}); err != nil {
+				return "err"
+			}
+			r := fl.CheckAccess(holder, false, 0, 10) == nil
+			w := fl.CheckAccess(holder, true, 0, 10) == nil
+			switch {
+			case r && w:
+				return "r/w"
+			case r:
+				return "read"
+			default:
+				return "no"
+			}
+		}
+		if held.mode != lockmgr.ModeNone {
+			if _, err := fl.Lock(lockmgr.Request{Holder: holder, Mode: held.mode, Off: 0, Len: 10}); err != nil {
+				return "err"
+			}
+		}
+		if req.mode == lockmgr.ModeNone {
+			// Unix access: check read and write separately.
+			r := fl.CheckAccess(requester, false, 0, 10) == nil
+			w := fl.CheckAccess(requester, true, 0, 10) == nil
+			switch {
+			case r && w:
+				return "r/w"
+			case r:
+				return "read"
+			default:
+				return "no"
+			}
+		}
+		_, err := fl.Lock(lockmgr.Request{Holder: requester, Mode: req.mode, Off: 0, Len: 10})
+		if err != nil {
+			return "no"
+		}
+		if req.mode == lockmgr.ModeShared {
+			return "read"
+		}
+		return "r/w"
+	}
+	var rows [][]string
+	for _, held := range modes {
+		row := []string{held.name}
+		for _, req := range modes {
+			row = append(row, cell(held, req))
+		}
+		rows = append(rows, row)
+	}
+	table("Figure 1: transaction synchronization rules (held \\ requested)",
+		[]string{"held \\ req", "Unix", "Shared", "Exclusive"}, rows)
+	fmt.Println("paper:  Unix/Unix r/w, Shared row: read read no, Exclusive row: no no no")
+	return nil
+}
+
+func fig5() error {
+	for _, mode := range []struct {
+		double bool
+		label  string
+	}{{false, "intended design (footnote 9 fixed)"}, {true, "1985 implementation (footnote 9)"}} {
+		rows, err := bench.Fig5(mode.double)
+		if err != nil {
+			return err
+		}
+		var out [][]string
+		for _, r := range rows {
+			paper := "-"
+			if r.PaperTotal > 0 {
+				paper = fmt.Sprint(r.PaperTotal)
+			}
+			out = append(out, []string{
+				r.Case,
+				fmt.Sprint(r.CoordLog), fmt.Sprint(r.DataPages),
+				fmt.Sprint(r.PrepareLog), fmt.Sprint(r.Inode),
+				fmt.Sprint(r.Total), paper,
+			})
+		}
+		table("Figure 5: transaction I/O overhead - "+mode.label,
+			[]string{"configuration", "coord log (1+4)", "data (2)", "prepare (3)", "inode (5)", "total", "paper"}, out)
+	}
+	return nil
+}
+
+func lockCost() error {
+	rows, err := bench.LockCost(64)
+	if err != nil {
+		return err
+	}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Case,
+			fmt.Sprint(r.InstrPerLock),
+			fmt.Sprintf("%.0f", r.MsgsPerLock),
+			fmt.Sprintf("%.3fms", float64(r.SimService.Microseconds())/1000),
+			fmt.Sprintf("%.3fms", float64(r.SimLatency.Microseconds())/1000),
+			r.PaperNote,
+		})
+	}
+	table("Section 6.2: record locking cost (per lock)",
+		[]string{"case", "instructions", "messages", "sim service", "sim latency", "paper"}, out)
+	return nil
+}
+
+func fig6() error {
+	rows, err := bench.Fig6()
+	if err != nil {
+		return err
+	}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Case,
+			fmt.Sprint(r.Instr),
+			fmt.Sprintf("%d/%d", r.Reads, r.Writes),
+			fmt.Sprint(r.Msgs),
+			fmt.Sprintf("%.1fms", float64(r.SimService.Microseconds())/1000),
+			fmt.Sprintf("%.1fms", float64(r.SimLatency.Microseconds())/1000),
+			r.PaperValues,
+		})
+	}
+	table("Figure 6: measured commit performance",
+		[]string{"case", "instr", "reads/writes", "msgs", "sim service", "sim latency", "paper"}, out)
+	return nil
+}
+
+func pageSize() error {
+	rows, err := bench.PageSizeDifferencing([]int{512, 1024, 2048, 4096, 8192})
+	if err != nil {
+		return err
+	}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprint(r.PageSize),
+			fmt.Sprint(r.BytesCopied),
+			fmt.Sprintf("%.2fms", float64(r.SimService.Microseconds())/1000),
+			fmt.Sprintf("%+.2fms", float64(r.DeltaVs1K.Microseconds())/1000),
+		})
+	}
+	table("Footnote 11: page size vs differencing cost (substantial copy)",
+		[]string{"page size", "bytes copied", "sim service", "delta vs 1K"}, out)
+	fmt.Println("paper:  1K -> 4K pages adds ~1ms when a substantial portion is copied")
+	return nil
+}
+
+func shadowLog() error {
+	rows, err := bench.ShadowVsWAL(
+		[]workload.Pattern{workload.Sequential, workload.Random, workload.HotCold},
+		[]int{64, 256, 1024},
+		[]int{1, 4, 8},
+	)
+	if err != nil {
+		return err
+	}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Pattern.String(), fmt.Sprint(r.RecordSize), fmt.Sprint(r.RecsPerTxn),
+			fmt.Sprintf("%.2f", r.ShadowIO), fmt.Sprintf("%.2f", r.WALIO),
+			fmt.Sprintf("%.0fms", float64(r.ShadowLatency.Microseconds())/1000),
+			fmt.Sprintf("%.0fms", float64(r.WALLatency.Microseconds())/1000),
+			r.Winner,
+		})
+	}
+	table("Section 6 / [Weinstein85]: shadow paging vs commit logging (I/Os per txn)",
+		[]string{"pattern", "rec size", "recs/txn", "shadow IO", "wal IO", "shadow lat", "wal lat", "winner"}, out)
+	fmt.Println("paper:  relative performance is highly dependent on the access strings;")
+	fmt.Println("        logging wins small scattered records, shadow paging is competitive elsewhere")
+	return nil
+}
+
+func prepLog() error {
+	rows, err := bench.PrepareLogGranularity([]int{1, 2, 4, 8})
+	if err != nil {
+		return err
+	}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprint(r.FilesPerTxn),
+			fmt.Sprintf("%d (paper %d)", r.PerVolumeIO, r.PaperPerVolume),
+			fmt.Sprintf("%d (paper %d)", r.PerFileIO, r.PaperPerFile),
+		})
+	}
+	table("Footnote 10: prepare log granularity (step-3 writes per txn)",
+		[]string{"files/txn", "per volume (design)", "per file (1985 impl)"}, out)
+	return nil
+}
+
+func lockCache() error {
+	rows, err := bench.LockCacheAblation(32)
+	if err != nil {
+		return err
+	}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Case,
+			fmt.Sprintf("%.2f", r.MsgsPerOp),
+			fmt.Sprintf("%.1fms", float64(r.SimLatency.Microseconds())/1000),
+		})
+	}
+	table("Section 5.1 ablation: requesting-site lock cache",
+		[]string{"case", "msgs/access", "sim latency/access"}, out)
+	return nil
+}
+
+func replica() error {
+	rows, err := bench.ReplicaLocality(16)
+	if err != nil {
+		return err
+	}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Case,
+			fmt.Sprintf("%.2f", r.MsgsPerOp),
+			fmt.Sprintf("%.1fms", float64(r.SimLatency.Microseconds())/1000),
+		})
+	}
+	table("Section 5.2: replication - reads at the closest storage site",
+		[]string{"case", "msgs/read", "sim latency/read"}, out)
+	return nil
+}
+
+func prefetch() error {
+	rows, err := bench.PrefetchAblation()
+	if err != nil {
+		return err
+	}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Case,
+			fmt.Sprintf("%.1fms", float64(r.LockLatency.Microseconds())/1000),
+			fmt.Sprintf("%.1fms", float64(r.ReadLatency.Microseconds())/1000),
+		})
+	}
+	table("Section 5.2: prefetch on lock (remote lock + first read)",
+		[]string{"case", "lock latency", "first read latency"}, out)
+	return nil
+}
+
+func fn7() error {
+	rows, err := bench.Footnote7Ablation()
+	if err != nil {
+		return err
+	}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Case,
+			fmt.Sprint(r.Reads),
+			fmt.Sprintf("%.1fms", float64(r.SimLatency.Microseconds())/1000),
+		})
+	}
+	table("Footnote 7: differencing from the buffer pool (overlap commit)",
+		[]string{"case", "page reads", "sim latency"}, out)
+	return nil
+}
+
+func granularity() error {
+	rows, err := bench.LockGranularity(4, 4, 5*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Case,
+			fmt.Sprint(r.LockWaits),
+			r.WallClock.Round(time.Millisecond).String(),
+		})
+	}
+	table("Section 7.1: record-level vs whole-file locking (4 workers, disjoint records)",
+		[]string{"case", "lock waits", "wall clock"}, out)
+	fmt.Println("paper:  whole file locking restricts concurrent access; record locking was")
+	fmt.Println("        the new facility's motivation for database workloads")
+	return nil
+}
+
+func recovery() error {
+	rows, err := bench.Recovery()
+	if err != nil {
+		return err
+	}
+	var out [][]string
+	for _, r := range rows {
+		ok := "PASS"
+		if !r.Correct {
+			ok = "FAIL"
+		}
+		out = append(out, []string{r.Scenario, r.Outcome, fmt.Sprint(r.RecoverIO), ok})
+	}
+	table("Sections 4.3-4.4: abort and crash recovery matrix",
+		[]string{"scenario", "observed", "recovery I/Os", "all-or-nothing"}, out)
+	return nil
+}

@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+// TestExperimentsSmoke runs every experiment printer once; each drives
+// the real system and fails on any protocol error.
+func TestExperimentsSmoke(t *testing.T) {
+	for name, fn := range map[string]func() error{
+		"fig1":        fig1,
+		"fig5":        fig5,
+		"lock":        lockCost,
+		"fig6":        fig6,
+		"pagesize":    pageSize,
+		"preplog":     prepLog,
+		"lockcache":   lockCache,
+		"replica":     replica,
+		"prefetch":    prefetch,
+		"fn7":         fn7,
+		"granularity": granularity,
+		"recovery":    recovery,
+	} {
+		if err := fn(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Sharedlog: many processes on different sites append records to one
+// shared log file using append-mode lock-and-extend (section 3.2).  The
+// lock request is interpreted relative to the end of file *at grant
+// time*, atomically at the storage site - so remote appenders can never
+// livelock between locating the end of file and locking it (footnote 2).
+//
+//	go run ./examples/sharedlog
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/simnet"
+)
+
+const (
+	nWriters   = 6
+	recsEach   = 5
+	recordSize = 32
+)
+
+func main() {
+	sys := core.NewSystem(cluster.Config{SyncPhase2: true})
+	for i := 1; i <= 3; i++ {
+		sys.AddSite(simnet.SiteID(i))
+	}
+	must(sys.AddVolume(1, "logs"))
+
+	setup, err := sys.NewProcess(1)
+	must(err)
+	_, err = setup.Create("logs/audit")
+	must(err)
+
+	var wg sync.WaitGroup
+	for w := 0; w < nWriters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Writers are spread across all three sites; most append
+			// remotely.
+			p, err := sys.NewProcess(simnet.SiteID(w%3 + 1))
+			must(err)
+			f, err := p.Open("logs/audit")
+			must(err)
+			f.SetAppendMode(true)
+			for r := 0; r < recsEach; r++ {
+				// Lock length bytes at EOF; the grant tells us where.
+				off, err := f.Lock(recordSize, core.Exclusive)
+				must(err)
+				rec := fmt.Sprintf("w%02d r%02d @%04d", w, r, off)
+				pad := make([]byte, recordSize)
+				copy(pad, rec)
+				pad[recordSize-1] = '\n'
+				_, err = f.WriteAt(pad, off)
+				must(err)
+				must(f.Sync())
+				_, err = f.Unlock(off, recordSize)
+				must(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Read the whole log back: exactly nWriters*recsEach records, no
+	// gaps, no tears, every record where its writer was told to put it.
+	reader, err := sys.NewProcess(2)
+	must(err)
+	f, err := reader.Open("logs/audit")
+	must(err)
+	size, err := f.Size()
+	must(err)
+	want := int64(nWriters * recsEach * recordSize)
+	fmt.Printf("log size %d bytes (want %d): %v\n", size, want, size == want)
+
+	buf := make([]byte, size)
+	_, err = f.ReadAt(buf, 0)
+	must(err)
+	bad := 0
+	for i := int64(0); i < size; i += recordSize {
+		rec := buf[i : i+recordSize]
+		var w, r, at int
+		if _, err := fmt.Sscanf(string(rec), "w%02d r%02d @%04d", &w, &r, &at); err != nil || int64(at) != i {
+			bad++
+		}
+	}
+	fmt.Printf("%d records verified, %d torn/misplaced\n", size/recordSize, bad)
+	if bad == 0 {
+		fmt.Println("append-mode lock-and-extend: no livelock, no interleaving")
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

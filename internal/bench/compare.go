@@ -1,0 +1,834 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fs"
+	"repro/internal/shadow"
+	"repro/internal/simdisk"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/wal"
+	"repro/internal/workload"
+)
+
+// ---- E6: shadow paging vs commit logging (section 6 / [Weinstein85]) ----
+
+// ShadowVsWALRow is one point of the access-string sweep.
+type ShadowVsWALRow struct {
+	Pattern    workload.Pattern
+	RecordSize int
+	RecsPerTxn int
+	// I/Os per transaction, including the WAL's amortized checkpoint.
+	ShadowIO float64
+	WALIO    float64
+	// Simulated commit latency per transaction.
+	ShadowLatency time.Duration
+	WALLatency    time.Duration
+	Winner        string
+}
+
+// shadowVsWALConfig fixes the comparison environment.
+const (
+	cmpPageSize   = 1024
+	cmpFilePages  = 64
+	cmpTxns       = 64
+	cmpCheckpoint = 16 // WAL checkpoints every N transactions
+)
+
+// ShadowVsWAL sweeps record size, records per transaction, and access
+// pattern over both commit mechanisms on identical volumes, counting
+// I/Os per transaction.  The paper's claim (section 6): logging wins for
+// small scattered records, while shadow paging is competitive for many
+// combinations of record size and placement.
+func ShadowVsWAL(patterns []workload.Pattern, recordSizes []int, recsPerTxn []int) ([]ShadowVsWALRow, error) {
+	var rows []ShadowVsWALRow
+	for _, pat := range patterns {
+		for _, rs := range recordSizes {
+			for _, rpt := range recsPerTxn {
+				row, err := shadowVsWALPoint(pat, rs, rpt)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+func shadowVsWALPoint(pat workload.Pattern, recSize, recsPerTxn int) (ShadowVsWALRow, error) {
+	fileSize := int64(cmpPageSize * cmpFilePages)
+	spec := workload.Spec{
+		Pattern: pat, FileSize: fileSize, RecordSize: recSize,
+		Count: cmpTxns * recsPerTxn, Seed: 42,
+	}
+	accesses := workload.Generate(spec)
+
+	// Shadow-paging side.
+	shadowIO, shadowLat, err := runShadowSide(accesses, recsPerTxn)
+	if err != nil {
+		return ShadowVsWALRow{}, err
+	}
+	// WAL side.
+	walIO, walLat, err := runWALSide(accesses, recsPerTxn)
+	if err != nil {
+		return ShadowVsWALRow{}, err
+	}
+
+	winner := "shadow"
+	if walIO < shadowIO {
+		winner = "wal"
+	}
+	return ShadowVsWALRow{
+		Pattern: pat, RecordSize: recSize, RecsPerTxn: recsPerTxn,
+		ShadowIO: shadowIO, WALIO: walIO,
+		ShadowLatency: shadowLat, WALLatency: walLat,
+		Winner: winner,
+	}, nil
+}
+
+// runShadowSide commits each transaction's records through the shadow
+// mechanism (single-file record commit), returning I/Os and simulated
+// latency per transaction.
+func runShadowSide(accesses []workload.Access, recsPerTxn int) (float64, time.Duration, error) {
+	st := stats.NewSet()
+	d := simdisk.New("shadow", cmpFilePages*4+96, cmpPageSize, st)
+	v, err := fs.Format("cmp", d, fs.Options{NumInodes: 4, LogPages: 8})
+	if err != nil {
+		return 0, 0, err
+	}
+	ino, err := v.AllocInode()
+	if err != nil {
+		return 0, 0, err
+	}
+	f, err := shadow.Open(v, ino)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Preallocate the file so updates are in-place record rewrites.
+	if _, err := f.WriteAt("setup", make([]byte, cmpPageSize*cmpFilePages), 0); err != nil {
+		return 0, 0, err
+	}
+	if err := f.Commit("setup"); err != nil {
+		return 0, 0, err
+	}
+
+	before := st.Snapshot()
+	txns := 0
+	for i := 0; i < len(accesses); i += recsPerTxn {
+		owner := shadow.Owner(fmt.Sprintf("txn:%d", txns))
+		end := i + recsPerTxn
+		if end > len(accesses) {
+			end = len(accesses)
+		}
+		for j := i; j < end; j++ {
+			a := accesses[j]
+			if _, err := f.WriteAt(owner, workload.Payload(j, a.Len), a.Off); err != nil {
+				return 0, 0, err
+			}
+		}
+		if err := f.Commit(owner); err != nil {
+			return 0, 0, err
+		}
+		txns++
+	}
+	diff := st.Snapshot().Sub(before)
+	perTxn := diff.Scale(int64(txns))
+	return float64(diff.Get(stats.DiskWrites)+diff.Get(stats.DiskReads)) / float64(txns),
+		Vax.Latency(perTxn), nil
+}
+
+// runWALSide commits the same transactions through the logging baseline,
+// checkpointing every cmpCheckpoint transactions so the deferred in-place
+// writes are charged (amortized) against it.
+func runWALSide(accesses []workload.Access, recsPerTxn int) (float64, time.Duration, error) {
+	st := stats.NewSet()
+	d := simdisk.New("wal", cmpFilePages*8+128, cmpPageSize, st)
+	v, err := fs.Format("cmp", d, fs.Options{NumInodes: 4, LogPages: 8})
+	if err != nil {
+		return 0, 0, err
+	}
+	mgr, err := wal.NewManager(v, 256)
+	if err != nil {
+		return 0, 0, err
+	}
+	ino, err := v.AllocInode()
+	if err != nil {
+		return 0, 0, err
+	}
+	f, err := wal.OpenFile(mgr, ino)
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := f.WriteAt("setup", make([]byte, cmpPageSize*cmpFilePages), 0); err != nil {
+		return 0, 0, err
+	}
+	if err := f.Commit("setup"); err != nil {
+		return 0, 0, err
+	}
+	if err := f.Checkpoint(); err != nil {
+		return 0, 0, err
+	}
+
+	before := st.Snapshot()
+	txns := 0
+	for i := 0; i < len(accesses); i += recsPerTxn {
+		owner := wal.Owner(fmt.Sprintf("txn:%d", txns))
+		end := i + recsPerTxn
+		if end > len(accesses) {
+			end = len(accesses)
+		}
+		for j := i; j < end; j++ {
+			a := accesses[j]
+			if _, err := f.WriteAt(owner, workload.Payload(j, a.Len), a.Off); err != nil {
+				return 0, 0, err
+			}
+		}
+		if err := f.Commit(owner); err != nil {
+			// The circular log filled before the scheduled checkpoint:
+			// checkpoint now and retry - the forced writes are charged
+			// against the logging side, as a real system would pay them.
+			if !errors.Is(err, wal.ErrLogWrapped) {
+				return 0, 0, err
+			}
+			if err := f.Checkpoint(); err != nil {
+				return 0, 0, err
+			}
+			if err := f.Commit(owner); err != nil {
+				return 0, 0, err
+			}
+		}
+		txns++
+		if txns%cmpCheckpoint == 0 {
+			if err := f.Checkpoint(); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	if err := f.Checkpoint(); err != nil {
+		return 0, 0, err
+	}
+	diff := st.Snapshot().Sub(before)
+	perTxn := diff.Scale(int64(txns))
+	return float64(diff.Get(stats.DiskWrites)+diff.Get(stats.DiskReads)) / float64(txns),
+		Vax.Latency(perTxn), nil
+}
+
+// ---- E7: footnote 10, prepare log granularity ----
+
+// PrepGranRow compares per-volume and per-file prepare logs.
+type PrepGranRow struct {
+	FilesPerTxn    int
+	PerVolumeIO    int64 // step-3 writes with one record per volume
+	PerFileIO      int64 // step-3 writes with the footnote-10 layout
+	PaperPerVolume int64
+	PaperPerFile   int64
+}
+
+// PrepareLogGranularity measures step 3 of Figure 5 for transactions
+// touching several files on one volume, in both layouts.
+func PrepareLogGranularity(filesPerTxn []int) ([]PrepGranRow, error) {
+	measure := func(nFiles int, perFile bool) (int64, error) {
+		sys, err := newSystem(cluster.Config{PerFilePrepareLogs: perFile})
+		if err != nil {
+			return 0, err
+		}
+		p, err := sys.NewProcess(1)
+		if err != nil {
+			return 0, err
+		}
+		var files []*core.File
+		for i := 0; i < nFiles; i++ {
+			f, err := p.Create(fmt.Sprintf("va/f%d", i))
+			if err != nil {
+				return 0, err
+			}
+			files = append(files, f)
+		}
+		if _, err := p.BeginTrans(); err != nil {
+			return 0, err
+		}
+		for _, f := range files {
+			if _, err := f.WriteAt([]byte("update"), 0); err != nil {
+				return 0, err
+			}
+		}
+		before := sys.Stats().Snapshot()
+		if err := p.EndTrans(); err != nil {
+			return 0, err
+		}
+		return sys.Stats().Snapshot().Sub(before).Get(stats.PrepareLogWrites), nil
+	}
+
+	var rows []PrepGranRow
+	for _, n := range filesPerTxn {
+		perVol, err := measure(n, false)
+		if err != nil {
+			return nil, err
+		}
+		perFile, err := measure(n, true)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, PrepGranRow{
+			FilesPerTxn: n,
+			PerVolumeIO: perVol, PerFileIO: perFile,
+			PaperPerVolume: 1, PaperPerFile: int64(n),
+		})
+	}
+	return rows, nil
+}
+
+// ---- E8: section 5.1, requester lock cache ablation ----
+
+// CacheRow compares transactional access with and without the
+// requesting-site lock cache.
+type CacheRow struct {
+	Case       string
+	MsgsPerOp  float64
+	SimLatency time.Duration // per access
+}
+
+// LockCacheAblation performs repeated remote transactional writes under a
+// held lock, with the section 5.1 lock cache on and off.
+func LockCacheAblation(opsPerRun int) ([]CacheRow, error) {
+	run := func(name string, disable bool) (CacheRow, error) {
+		sys, err := newSystem(cluster.Config{DisableLockCache: disable})
+		if err != nil {
+			return CacheRow{}, err
+		}
+		p, err := sys.NewProcess(2) // remote from va's storage site
+		if err != nil {
+			return CacheRow{}, err
+		}
+		f, err := p.Create("va/f")
+		if err != nil {
+			return CacheRow{}, err
+		}
+		if _, err := p.BeginTrans(); err != nil {
+			return CacheRow{}, err
+		}
+		if err := f.LockRange(0, 4096, core.Exclusive); err != nil {
+			return CacheRow{}, err
+		}
+		before := sys.Stats().Snapshot()
+		for i := 0; i < opsPerRun; i++ {
+			if _, err := f.WriteAt([]byte("rec"), int64(i*16)%4000); err != nil {
+				return CacheRow{}, err
+			}
+		}
+		d := sys.Stats().Snapshot().Sub(before)
+		perOp := d.Scale(int64(opsPerRun))
+		if err := p.EndTrans(); err != nil {
+			return CacheRow{}, err
+		}
+		return CacheRow{
+			Case:       name,
+			MsgsPerOp:  float64(d.Get(stats.MsgsSent)) / float64(opsPerRun),
+			SimLatency: Vax.Latency(perOp),
+		}, nil
+	}
+	with, err := run("lock cache enabled (paper design)", false)
+	if err != nil {
+		return nil, err
+	}
+	without, err := run("lock cache disabled (ablation)", true)
+	if err != nil {
+		return nil, err
+	}
+	return []CacheRow{with, without}, nil
+}
+
+// ---- E9: sections 4.3-4.4, abort and crash recovery ----
+
+// RecoveryRow summarizes one crash scenario.
+type RecoveryRow struct {
+	Scenario  string
+	Outcome   string // all-or-nothing result observed
+	RecoverIO int64  // disk I/Os spent during recovery
+	Correct   bool
+}
+
+// Recovery exercises the crash matrix: participant crash before prepare,
+// after prepare (in doubt), and coordinator crash after the commit point,
+// verifying all-or-nothing outcomes and counting recovery I/O.
+func Recovery() ([]RecoveryRow, error) {
+	var rows []RecoveryRow
+
+	// Scenario 1: participant crashes before the transaction commits.
+	{
+		sys, err := newSystem(cluster.Config{})
+		if err != nil {
+			return nil, err
+		}
+		p, _ := sys.NewProcess(3)
+		f, err := p.Create("va/f")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.BeginTrans(); err != nil {
+			return nil, err
+		}
+		if _, err := f.WriteAt([]byte("lost"), 0); err != nil {
+			return nil, err
+		}
+		sys.Cluster().Site(1).Crash()
+		endErr := p.EndTrans()
+		before := sys.Stats().Snapshot()
+		if err := sys.Cluster().Site(1).Restart(); err != nil {
+			return nil, err
+		}
+		rd := sys.Stats().Snapshot().Sub(before)
+		rio := rd.Get(stats.DiskWrites) + rd.Get(stats.DiskReads)
+		q, _ := sys.NewProcess(1)
+		fq, err := q.Open("va/f")
+		if err != nil {
+			return nil, err
+		}
+		cs, _ := fq.CommittedSize()
+		rows = append(rows, RecoveryRow{
+			Scenario:  "participant crash before prepare",
+			Outcome:   fmt.Sprintf("EndTrans=%v committed=%dB", endErr != nil, cs),
+			RecoverIO: rio,
+			Correct:   endErr != nil && cs == 0,
+		})
+	}
+
+	// Scenario 2: participant crashes after prepare; coordinator keeps
+	// the outcome; resolution applies it from the prepare log.
+	{
+		sys, err := newSystem(cluster.Config{})
+		if err != nil {
+			return nil, err
+		}
+		s1 := sys.Cluster().Site(1)
+		p, _ := sys.NewProcess(3)
+		f, err := p.Create("va/f")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.BeginTrans(); err != nil {
+			return nil, err
+		}
+		if _, err := f.WriteAt([]byte("kept"), 0); err != nil {
+			return nil, err
+		}
+		if err := p.EndTrans(); err != nil {
+			return nil, err
+		}
+		// The data committed; now crash and recover the participant to
+		// measure a clean-restart recovery pass.
+		s1.Crash()
+		before := sys.Stats().Snapshot()
+		if err := s1.Restart(); err != nil {
+			return nil, err
+		}
+		rd := sys.Stats().Snapshot().Sub(before)
+		rio := rd.Get(stats.DiskWrites) + rd.Get(stats.DiskReads)
+		q, _ := sys.NewProcess(1)
+		fq, err := q.Open("va/f")
+		if err != nil {
+			return nil, err
+		}
+		buf := make([]byte, 4)
+		n, _ := fq.ReadAt(buf, 0)
+		rows = append(rows, RecoveryRow{
+			Scenario:  "committed data across participant crash",
+			Outcome:   fmt.Sprintf("read=%q", string(buf[:n])),
+			RecoverIO: rio,
+			Correct:   string(buf[:n]) == "kept",
+		})
+	}
+
+	// Scenario 3: partition mid-transaction aborts it everywhere.
+	{
+		sys, err := newSystem(cluster.Config{})
+		if err != nil {
+			return nil, err
+		}
+		p, _ := sys.NewProcess(1)
+		f, err := p.Create("vb/f")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.BeginTrans(); err != nil {
+			return nil, err
+		}
+		if _, err := f.WriteAt([]byte("cut"), 0); err != nil {
+			return nil, err
+		}
+		sys.Cluster().Net().Partition(2)
+		deadline := time.Now().Add(2 * time.Second)
+		var endErr error
+		for {
+			endErr = p.EndTrans()
+			if endErr != nil || time.Now().After(deadline) {
+				break
+			}
+		}
+		sys.Cluster().Net().Heal()
+		q, _ := sys.NewProcess(2)
+		fq, err := q.Open("vb/f")
+		if err != nil {
+			return nil, err
+		}
+		cs, _ := fq.CommittedSize()
+		rows = append(rows, RecoveryRow{
+			Scenario: "partition during transaction",
+			Outcome:  fmt.Sprintf("EndTrans=%v committed=%dB", endErr != nil, cs),
+			Correct:  endErr != nil && cs == 0,
+		})
+	}
+
+	return rows, nil
+}
+
+// SiteCount documents the standard topology used by the experiments.
+func SiteCount() []simnet.SiteID { return []simnet.SiteID{1, 2, 3} }
+
+// ---- E10: section 5.2, replication with a primary update site ----
+
+// ReplicaRow compares remote reads with and without a local replica.
+type ReplicaRow struct {
+	Case       string
+	MsgsPerOp  float64
+	SimLatency time.Duration
+}
+
+// ReplicaLocality measures read cost from a non-primary site, without a
+// replica (every read is a round trip) and with one (reads served by the
+// closest available storage site, section 5.2).
+func ReplicaLocality(readsPerRun int) ([]ReplicaRow, error) {
+	run := func(name string, replicate bool) (ReplicaRow, error) {
+		sys, err := newSystem(cluster.Config{})
+		if err != nil {
+			return ReplicaRow{}, err
+		}
+		setup, err := sys.NewProcess(1)
+		if err != nil {
+			return ReplicaRow{}, err
+		}
+		f, err := setup.Create("va/shared")
+		if err != nil {
+			return ReplicaRow{}, err
+		}
+		if _, err := f.WriteAt(make([]byte, 4096), 0); err != nil {
+			return ReplicaRow{}, err
+		}
+		if err := f.Sync(); err != nil {
+			return ReplicaRow{}, err
+		}
+		if err := f.Close(); err != nil {
+			return ReplicaRow{}, err
+		}
+		if replicate {
+			if err := sys.AddReplica("va", 2); err != nil {
+				return ReplicaRow{}, err
+			}
+		}
+		p, err := sys.NewProcess(2)
+		if err != nil {
+			return ReplicaRow{}, err
+		}
+		fr, err := p.Open("va/shared")
+		if err != nil {
+			return ReplicaRow{}, err
+		}
+		before := sys.Stats().Snapshot()
+		buf := make([]byte, 128)
+		for i := 0; i < readsPerRun; i++ {
+			if _, err := fr.ReadAt(buf, int64(i*128)%3968); err != nil {
+				return ReplicaRow{}, err
+			}
+		}
+		d := sys.Stats().Snapshot().Sub(before)
+		perOp := d.Scale(int64(readsPerRun))
+		return ReplicaRow{
+			Case:       name,
+			MsgsPerOp:  float64(d.Get(stats.MsgsSent)) / float64(readsPerRun),
+			SimLatency: Vax.Latency(perOp),
+		}, nil
+	}
+	without, err := run("no replica (reads cross the network)", false)
+	if err != nil {
+		return nil, err
+	}
+	with, err := run("local replica (closest storage site)", true)
+	if err != nil {
+		return nil, err
+	}
+	return []ReplicaRow{without, with}, nil
+}
+
+// ---- E11: section 5.2, prefetch on lock ----
+
+// PrefetchRow splits the lock+read critical path with and without
+// prefetch-on-lock.
+type PrefetchRow struct {
+	Case        string
+	LockLatency time.Duration // lock request incl. any prefetch I/O
+	ReadLatency time.Duration // first data read after the lock
+}
+
+// PrefetchAblation measures a remote lock followed by a read of the
+// locked range.  Prefetching moves the page read under the lock exchange,
+// so the data access that follows pays no disk latency - the section 5.2
+// "prefetched in anticipation of their subsequent use" optimization.
+func PrefetchAblation() ([]PrefetchRow, error) {
+	run := func(name string, prefetch bool) (PrefetchRow, error) {
+		sys, err := newSystem(cluster.Config{PrefetchOnLock: prefetch})
+		if err != nil {
+			return PrefetchRow{}, err
+		}
+		setup, err := sys.NewProcess(1)
+		if err != nil {
+			return PrefetchRow{}, err
+		}
+		f, err := setup.Create("va/data")
+		if err != nil {
+			return PrefetchRow{}, err
+		}
+		if _, err := f.WriteAt(make([]byte, 2048), 0); err != nil {
+			return PrefetchRow{}, err
+		}
+		if err := f.Sync(); err != nil {
+			return PrefetchRow{}, err
+		}
+		if err := f.Close(); err != nil {
+			return PrefetchRow{}, err
+		}
+		// Re-open so the storage site's working state (and caches) start
+		// cold, then lock and read from a remote site.
+		sys.Cluster().Site(1).Crash()
+		if err := sys.Cluster().Site(1).Restart(); err != nil {
+			return PrefetchRow{}, err
+		}
+		p, err := sys.NewProcess(2)
+		if err != nil {
+			return PrefetchRow{}, err
+		}
+		fr, err := p.Open("va/data")
+		if err != nil {
+			return PrefetchRow{}, err
+		}
+		before := sys.Stats().Snapshot()
+		if err := fr.LockRange(0, 1024, core.Shared); err != nil {
+			return PrefetchRow{}, err
+		}
+		lockCost := sys.Stats().Snapshot().Sub(before)
+		before = sys.Stats().Snapshot()
+		buf := make([]byte, 1024)
+		if _, err := fr.ReadAt(buf, 0); err != nil {
+			return PrefetchRow{}, err
+		}
+		readCost := sys.Stats().Snapshot().Sub(before)
+		return PrefetchRow{
+			Case:        name,
+			LockLatency: Vax.Latency(lockCost),
+			ReadLatency: Vax.Latency(readCost),
+		}, nil
+	}
+	without, err := run("no prefetch (1985 implementation)", false)
+	if err != nil {
+		return nil, err
+	}
+	with, err := run("prefetch on lock (section 5.2 optimization)", true)
+	if err != nil {
+		return nil, err
+	}
+	return []PrefetchRow{without, with}, nil
+}
+
+// ---- E12: footnote 7, differencing from the buffer pool ----
+
+// Fn7Row compares the overlap commit with the previous version re-read
+// from disk (the measured 1985 implementation) vs served from the clean
+// page buffer pool (the optimization footnote 7 sketches).
+type Fn7Row struct {
+	Case       string
+	Reads      int64
+	SimLatency time.Duration
+}
+
+// Footnote7Ablation measures a local overlap commit in both modes.
+func Footnote7Ablation() ([]Fn7Row, error) {
+	run := func(name string, fromPool bool) (Fn7Row, error) {
+		sys, err := newSystem(cluster.Config{DiffFromBufferPool: fromPool})
+		if err != nil {
+			return Fn7Row{}, err
+		}
+		p, err := sys.NewProcess(1)
+		if err != nil {
+			return Fn7Row{}, err
+		}
+		f, err := p.Create("va/f")
+		if err != nil {
+			return Fn7Row{}, err
+		}
+		if _, err := f.WriteAt(make([]byte, 1024), 0); err != nil {
+			return Fn7Row{}, err
+		}
+		if err := f.Sync(); err != nil {
+			return Fn7Row{}, err
+		}
+		other, err := sys.NewProcess(1)
+		if err != nil {
+			return Fn7Row{}, err
+		}
+		fo, err := other.Open("va/f")
+		if err != nil {
+			return Fn7Row{}, err
+		}
+		if err := fo.LockRange(900, 50, core.Exclusive); err != nil {
+			return Fn7Row{}, err
+		}
+		if _, err := fo.WriteAt([]byte("co-owner"), 900); err != nil {
+			return Fn7Row{}, err
+		}
+		if _, err := fo.Unlock(900, 50); err != nil {
+			return Fn7Row{}, err
+		}
+		if err := f.LockRange(0, 128, core.Exclusive); err != nil {
+			return Fn7Row{}, err
+		}
+		if _, err := f.WriteAt(make([]byte, 128), 0); err != nil {
+			return Fn7Row{}, err
+		}
+		before := sys.Stats().Snapshot()
+		if err := f.Sync(); err != nil {
+			return Fn7Row{}, err
+		}
+		d := sys.Stats().Snapshot().Sub(before)
+		return Fn7Row{
+			Case:       name,
+			Reads:      d.Get(stats.DiskReads),
+			SimLatency: Vax.Latency(d),
+		}, nil
+	}
+	without, err := run("re-read previous version (1985 impl, Fig 6)", false)
+	if err != nil {
+		return nil, err
+	}
+	with, err := run("previous version from buffer pool (footnote 7)", true)
+	if err != nil {
+		return nil, err
+	}
+	return []Fn7Row{without, with}, nil
+}
+
+// ---- E13: section 7.1, record-level vs whole-file locking ----
+
+// GranularityRow compares lock granularities under concurrent disjoint
+// updates to one file.
+type GranularityRow struct {
+	Case       string
+	LockWaits  int64
+	LockDenial int64
+	WallClock  time.Duration
+}
+
+// LockGranularity runs concurrent transactions updating DISJOINT records
+// of one shared file, under the paper's record-level locking and under
+// the whole-file locking of the previous Locus transaction mechanism
+// (section 7.1: "whole file locking restricts the degree of concurrent
+// access to data files, and is not a satisfactory base on which to
+// implement a database system").  Each transaction holds its lock for
+// hold (simulating the record processing a database would do); record
+// locking admits all updaters in parallel, whole-file locking serializes
+// them, so the wall-clock ratio approaches the worker count.
+func LockGranularity(workers, txnsEach int, hold time.Duration) ([]GranularityRow, error) {
+	run := func(name string, wholeFile bool) (GranularityRow, error) {
+		sys, err := newSystem(cluster.Config{LockWaitTimeout: 5 * time.Second})
+		if err != nil {
+			return GranularityRow{}, err
+		}
+		setup, err := sys.NewProcess(1)
+		if err != nil {
+			return GranularityRow{}, err
+		}
+		f, err := setup.Create("va/shared")
+		if err != nil {
+			return GranularityRow{}, err
+		}
+		const fileBytes = 8192
+		if _, err := f.WriteAt(make([]byte, fileBytes), 0); err != nil {
+			return GranularityRow{}, err
+		}
+		if err := f.Sync(); err != nil {
+			return GranularityRow{}, err
+		}
+
+		before := sys.Stats().Snapshot()
+		start := time.Now()
+		errs := make(chan error, workers)
+		release := make(chan struct{})
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				p, err := sys.NewProcess(simnet.SiteID(w%3 + 1))
+				if err != nil {
+					errs <- err
+					return
+				}
+				file, err := p.Open("va/shared")
+				if err != nil {
+					errs <- err
+					return
+				}
+				<-release // all workers start together: guaranteed overlap
+				for i := 0; i < txnsEach; i++ {
+					if _, err := p.BeginTrans(); err != nil {
+						errs <- err
+						return
+					}
+					off, length := int64(w*64), int64(64)
+					if wholeFile {
+						off, length = 0, fileBytes
+					}
+					if err := file.LockRange(off, length, core.Exclusive); err != nil {
+						p.AbortTrans() //nolint:errcheck
+						errs <- err
+						return
+					}
+					if _, err := file.WriteAt([]byte("update!!"), int64(w*64)); err != nil {
+						p.AbortTrans() //nolint:errcheck
+						errs <- err
+						return
+					}
+					time.Sleep(hold) // the transaction's record processing
+					if err := p.EndTrans(); err != nil {
+						errs <- err
+						return
+					}
+				}
+				errs <- nil
+			}(w)
+		}
+		close(release)
+		for w := 0; w < workers; w++ {
+			if err := <-errs; err != nil {
+				return GranularityRow{}, err
+			}
+		}
+		d := sys.Stats().Snapshot().Sub(before)
+		return GranularityRow{
+			Case:       name,
+			LockWaits:  d.Get(stats.LockWaits),
+			LockDenial: d.Get(stats.LockDenials),
+			WallClock:  time.Since(start),
+		}, nil
+	}
+	record, err := run("record-level locking (this paper)", false)
+	if err != nil {
+		return nil, err
+	}
+	file, err := run("whole-file locking (previous Locus, sec 7.1)", true)
+	if err != nil {
+		return nil, err
+	}
+	return []GranularityRow{record, file}, nil
+}

@@ -1,0 +1,673 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lockmgr"
+	"repro/internal/shadow"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+)
+
+// Request/response payloads for the file operations.  Data-carrying
+// payloads implement simnet.Sizer so the cost model charges realistic
+// wire bytes.
+
+type createReq struct{ Path string }
+
+type openReq struct{ Path string }
+type openResp struct {
+	FileID string
+	Size   int64
+}
+
+type closeReq struct {
+	FileID string
+	PID    int
+	Txn    string
+}
+
+type syncReq struct {
+	FileID string
+	PID    int
+	Txn    string
+}
+
+type statReq struct{ FileID string }
+type statResp struct {
+	Size          int64
+	CommittedSize int64
+}
+
+type readReq struct {
+	FileID string
+	Off    int64
+	Len    int
+	PID    int
+	Txn    string
+}
+
+func (r readReq) WireSize() int { return 48 }
+
+type readResp struct{ Data []byte }
+
+func (r readResp) WireSize() int { return 32 + len(r.Data) }
+
+type writeReq struct {
+	FileID string
+	Off    int64
+	Data   []byte
+	PID    int
+	Txn    string
+}
+
+func (r writeReq) WireSize() int { return 48 + len(r.Data) }
+
+type writeResp struct{ N int }
+
+type lockReq struct {
+	FileID string
+	PID    int
+	Txn    string
+	Mode   lockmgr.Mode
+	Off    int64
+	Len    int64
+	AtEOF  bool
+	NonTxn bool
+	Wait   bool
+}
+
+type lockResp struct {
+	Off int64
+	Len int64
+}
+
+type unlockReq struct {
+	FileID string
+	PID    int
+	Txn    string
+	Off    int64
+	Len    int64
+}
+
+type unlockResp struct{ Retained bool }
+
+type listReq struct{ Volume string }
+type listResp struct{ Names []string }
+
+type removeReq struct{ Path string }
+
+// wrap adapts a request-only handler to the simnet.Handler signature.
+func (s *Site) wrap(fn func(req any) (any, error)) func(simnet.SiteID, any) (any, error) {
+	return func(from simnet.SiteID, req any) (any, error) { return fn(req) }
+}
+
+// registerFileHandlers installs the storage-site side of the file
+// operations.
+func (s *Site) registerFileHandlers() {
+	s.ep.Handle("create", s.wrap(func(req any) (any, error) { return nil, s.handleCreate(req.(createReq)) }))
+	s.ep.Handle("open", s.wrap(func(req any) (any, error) { return s.handleOpen(req.(openReq)) }))
+	s.ep.Handle("close", s.wrap(func(req any) (any, error) { return nil, s.handleClose(req.(closeReq)) }))
+	s.ep.Handle("sync", s.wrap(func(req any) (any, error) { return nil, s.handleSync(req.(syncReq)) }))
+	s.ep.Handle("stat", s.wrap(func(req any) (any, error) { return s.handleStat(req.(statReq)) }))
+	s.ep.Handle("read", s.wrap(func(req any) (any, error) { return s.handleRead(req.(readReq)) }))
+	s.ep.Handle("write", s.wrap(func(req any) (any, error) { return s.handleWrite(req.(writeReq)) }))
+	s.ep.Handle("lock", s.wrap(func(req any) (any, error) { return s.handleLock(req.(lockReq)) }))
+	s.ep.Handle("unlock", s.wrap(func(req any) (any, error) { return s.handleUnlock(req.(unlockReq)) }))
+	s.ep.Handle("list", s.wrap(func(req any) (any, error) { return s.handleList(req.(listReq)) }))
+	s.ep.Handle("remove", s.wrap(func(req any) (any, error) { return nil, s.handleRemove(req.(removeReq)) }))
+}
+
+// ---- storage-site handlers ----
+
+func (s *Site) handleCreate(req createReq) error {
+	volName, name, err := splitPath(req.Path)
+	if err != nil {
+		return err
+	}
+	vs, err := s.volByName(volName)
+	if err != nil {
+		return err
+	}
+	_, err = vs.dirCreate(name)
+	return err
+}
+
+func (s *Site) volByName(name string) (*volState, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	vs, ok := s.vols[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q not stored at %v", ErrNoSuchVolume, name, s.id)
+	}
+	return vs, nil
+}
+
+// handleOpen resolves the name (the expensive name-mapping the paper
+// separates from locking, section 3.2), brings the inode into memory, and
+// returns the file's identity.
+func (s *Site) handleOpen(req openReq) (openResp, error) {
+	volName, name, err := splitPath(req.Path)
+	if err != nil {
+		return openResp{}, err
+	}
+	vs, err := s.volByName(volName)
+	if err != nil {
+		return openResp{}, err
+	}
+	ino, err := vs.dirLookup(name)
+	if err != nil {
+		return openResp{}, err
+	}
+	fileID := req.Path
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	of, ok := s.open[fileID]
+	if !ok {
+		file, err := shadow.Open(vs.vol, ino)
+		if err != nil {
+			return openResp{}, err
+		}
+		file.CleanCacheForDiff = s.cl.cfg.DiffFromBufferPool
+		of = &openFile{
+			id:   fileID,
+			vs:   vs,
+			file: file,
+		}
+		// The size function reads through the entry, not the file, so a
+		// recovery-time refresh of of.file keeps append locks correct.
+		of.locks = s.locks.File(fileID, func() int64 { return of.file.Size() })
+		s.open[fileID] = of
+	}
+	of.refs++
+	return openResp{FileID: fileID, Size: of.file.Size()}, nil
+}
+
+// handleClose drops one reference.  For a non-transaction process with
+// uncommitted modifications, close commits them - the base Locus
+// single-file atomic update on close.  A transaction's close commits
+// nothing; its changes wait for the transaction's outcome.
+func (s *Site) handleClose(req closeReq) error {
+	of, err := s.lookupOpen(req.FileID)
+	if err != nil {
+		return err
+	}
+	if req.Txn == "" {
+		owner := ownerFor(req.PID, "")
+		if of.file.HasMods(owner) {
+			if err := of.file.Commit(owner); err != nil {
+				return err
+			}
+		}
+		// A process's own locks die with its use of the file.
+		of.locks.ReleaseGroup(lockmgr.Holder{PID: req.PID}.Group())
+		s.invalidateCacheGroup(lockmgr.Holder{PID: req.PID}.Group())
+		s.maybeSyncReplicas(of)
+	}
+	s.mu.Lock()
+	of.refs--
+	if of.refs <= 0 && len(of.file.Owners()) == 0 && len(of.locks.Entries()) == 0 {
+		delete(s.open, req.FileID)
+		s.locks.Drop(req.FileID)
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// handleSync commits a non-transaction owner's modifications immediately
+// (fsync-style), using the single-file commit mechanism.
+func (s *Site) handleSync(req syncReq) error {
+	of, err := s.lookupOpen(req.FileID)
+	if err != nil {
+		return err
+	}
+	owner := ownerFor(req.PID, req.Txn)
+	if req.Txn != "" {
+		return fmt.Errorf("cluster: sync inside a transaction commits at EndTrans")
+	}
+	if !of.file.HasMods(owner) {
+		s.maybeSyncReplicas(of)
+		return nil
+	}
+	if err := of.file.Commit(owner); err != nil {
+		return err
+	}
+	s.maybeSyncReplicas(of)
+	return nil
+}
+
+func (s *Site) handleStat(req statReq) (statResp, error) {
+	of, err := s.lookupOpen(req.FileID)
+	if err != nil {
+		return statResp{}, err
+	}
+	return statResp{Size: of.file.Size(), CommittedSize: of.file.CommittedSize()}, nil
+}
+
+// handleRead validates the access per Figure 1 and returns the bytes.
+// Transaction readers must hold (at least) a shared lock over the range:
+// the requesting kernel acquires it implicitly before the data request,
+// so a bare storage-site check suffices here.
+func (s *Site) handleRead(req readReq) (readResp, error) {
+	of, err := s.lookupOpen(req.FileID)
+	if err != nil {
+		return readResp{}, err
+	}
+	h := Holder(req.PID, req.Txn)
+	if req.Txn != "" {
+		// Coverage by the transaction's locks, or by the process's own
+		// pre-transaction locks (usable within the transaction without
+		// joining it, section 3.4).
+		pre := Holder(req.PID, "")
+		if !of.locks.Covers(h, lockmgr.ModeShared, req.Off, int64(req.Len)) &&
+			!of.locks.Covers(pre, lockmgr.ModeShared, req.Off, int64(req.Len)) {
+			return readResp{}, fmt.Errorf("%w: transaction read of %s [%d,%d) without lock",
+				lockmgr.ErrAccessDenied, req.FileID, req.Off, req.Off+int64(req.Len))
+		}
+	} else if err := of.locks.CheckAccess(h, false, req.Off, int64(req.Len)); err != nil {
+		return readResp{}, err
+	}
+	buf := make([]byte, req.Len)
+	n, err := of.file.ReadAt(buf, req.Off)
+	if err != nil {
+		return readResp{}, err
+	}
+	return readResp{Data: buf[:n]}, nil
+}
+
+// handleWrite validates and applies a write at the storage site.
+func (s *Site) handleWrite(req writeReq) (writeResp, error) {
+	of, err := s.lookupOpen(req.FileID)
+	if err != nil {
+		return writeResp{}, err
+	}
+	h := Holder(req.PID, req.Txn)
+	owner := ownerFor(req.PID, req.Txn)
+	length := int64(len(req.Data))
+	if req.Txn != "" {
+		if !of.locks.Covers(h, lockmgr.ModeExclusive, req.Off, length) {
+			// A write under the process's own pre-transaction lock does
+			// not join the transaction: the record belongs to the
+			// process and commits at close/sync, not with the
+			// transaction (section 3.4).
+			pre := Holder(req.PID, "")
+			if of.locks.Covers(pre, lockmgr.ModeExclusive, req.Off, length) {
+				owner = ownerFor(req.PID, "")
+			} else {
+				return writeResp{}, fmt.Errorf("%w: transaction write of %s [%d,%d) without exclusive lock",
+					lockmgr.ErrAccessDenied, req.FileID, req.Off, req.Off+length)
+			}
+		}
+	} else {
+		if err := of.locks.CheckAccess(h, true, req.Off, length); err != nil {
+			return writeResp{}, err
+		}
+		// Unix semantics between unlocked processes: the later writer
+		// wins; uncommitted bytes from other non-transaction processes
+		// are taken over rather than conflicting.
+		for _, or := range of.file.UncommittedOverlapping(req.Off, length) {
+			if or.Owner != owner && strings.HasPrefix(string(or.Owner), "proc:") {
+				of.file.TransferMods(or.Owner, owner, req.Off, length)
+			}
+		}
+	}
+	s.markOpenForUpdate(of)
+	n, err := of.file.WriteAt(owner, req.Data, req.Off)
+	if err != nil {
+		return writeResp{}, err
+	}
+	return writeResp{N: n}, nil
+}
+
+// handleLock processes a lock request at the storage site (section 5.1)
+// and applies rule 2 of section 3.3: locking a record that carries
+// modified-but-uncommitted non-transaction data pulls those bytes into
+// the transaction, and the lock is forcibly transactional (retained).
+func (s *Site) handleLock(req lockReq) (lockResp, error) {
+	of, err := s.lookupOpen(req.FileID)
+	if err != nil {
+		return lockResp{}, err
+	}
+	lreq := lockmgr.Request{
+		Holder: Holder(req.PID, req.Txn),
+		Mode:   req.Mode,
+		Off:    req.Off,
+		Len:    req.Len,
+		AtEOF:  req.AtEOF,
+		NonTxn: req.NonTxn,
+		Wait:   req.Wait,
+	}
+	if req.Wait {
+		lreq.Timeout = s.cl.cfg.LockWaitTimeout
+	}
+	s.markOpenForUpdate(of)
+	res, err := of.locks.Lock(lreq)
+	if err != nil {
+		return lockResp{}, err
+	}
+	if s.cl.cfg.PrefetchOnLock {
+		of.file.Prefetch(res.Off, res.Len) //nolint:errcheck // best-effort read-ahead
+	}
+	if req.Txn != "" {
+		txnOwner := TxnOwner(req.Txn)
+		for _, or := range of.file.UncommittedOverlapping(res.Off, res.Len) {
+			if or.Owner != txnOwner && strings.HasPrefix(string(or.Owner), "proc:") {
+				of.file.TransferMods(or.Owner, txnOwner, or.Off, or.Len)
+				of.locks.ForceTransactional(TxnGroup(req.Txn), res.Off, res.Len)
+			}
+		}
+	}
+	return lockResp{Off: res.Off, Len: res.Len}, nil
+}
+
+func (s *Site) handleUnlock(req unlockReq) (unlockResp, error) {
+	of, err := s.lookupOpen(req.FileID)
+	if err != nil {
+		return unlockResp{}, err
+	}
+	retained, err := of.locks.Unlock(Holder(req.PID, req.Txn), req.Off, req.Len)
+	if err != nil {
+		return unlockResp{}, err
+	}
+	if req.Txn != "" {
+		// Also release any of the process's own pre-transaction locks on
+		// the range: they are not converted to transaction locks, so
+		// unlocking them really frees them (section 3.4).
+		if _, err := of.locks.Unlock(Holder(req.PID, ""), req.Off, req.Len); err != nil {
+			return unlockResp{}, err
+		}
+	}
+	return unlockResp{Retained: retained}, nil
+}
+
+func (s *Site) handleList(req listReq) (listResp, error) {
+	vs, err := s.volByName(req.Volume)
+	if err != nil {
+		return listResp{}, err
+	}
+	return listResp{Names: vs.dirList()}, nil
+}
+
+// handleRemove deletes a file: the directory entry goes first (the
+// committed point of the removal), then the data pages and inode are
+// reclaimed.  An open file cannot be removed.
+func (s *Site) handleRemove(req removeReq) error {
+	volName, name, err := splitPath(req.Path)
+	if err != nil {
+		return err
+	}
+	vs, err := s.volByName(volName)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	_, open := s.open[req.Path]
+	s.mu.Unlock()
+	if open {
+		return fmt.Errorf("cluster: %q is open; close it everywhere first", req.Path)
+	}
+	ino, err := vs.dirLookup(name)
+	if err != nil {
+		return err
+	}
+	node, err := vs.vol.ReadInode(ino)
+	if err != nil {
+		return err
+	}
+	if err := vs.dirRemove(name); err != nil {
+		return err
+	}
+	for _, p := range node.Pages {
+		if p >= 0 {
+			if err := vs.vol.FreePage(p); err != nil {
+				return err
+			}
+		}
+	}
+	node.Pages = nil
+	node.Size = 0
+	if err := vs.vol.WriteInode(node); err != nil {
+		return err
+	}
+	if err := vs.vol.FreeInode(ino); err != nil {
+		return err
+	}
+	s.notifyReplicaRemove(req.Path, volName)
+	return nil
+}
+
+// ---- requesting-site API (used by package core) ----
+
+// call routes an operation to the file's storage site; a local target
+// runs the handler directly with no network charge (simnet handles both).
+func (s *Site) callStorage(path, op string, req any) (any, error) {
+	site, err := s.cl.StorageSite(path)
+	if err != nil {
+		return nil, err
+	}
+	return s.ep.Call(site, op, req)
+}
+
+// Create makes an empty file at the path's storage site.
+func (s *Site) Create(path string) error {
+	s.st.Inc(stats.Syscalls)
+	_, err := s.callStorage(path, "create", createReq{Path: path})
+	return err
+}
+
+// Remove deletes a file and reclaims its storage.
+func (s *Site) Remove(path string) error {
+	s.st.Inc(stats.Syscalls)
+	_, err := s.callStorage(path, "remove", removeReq{Path: path})
+	return err
+}
+
+// Open resolves the path and opens the file, returning its file ID and
+// current size.
+func (s *Site) Open(path string) (string, int64, error) {
+	s.st.Inc(stats.Syscalls)
+	resp, err := s.callStorage(path, "open", openReq{Path: path})
+	if err != nil {
+		return "", 0, err
+	}
+	r := resp.(openResp)
+	return r.FileID, r.Size, nil
+}
+
+// Close releases one open reference.
+func (s *Site) Close(fileID string, pid int, txn string) error {
+	s.st.Inc(stats.Syscalls)
+	_, err := s.callStorage(fileID, "close", closeReq{FileID: fileID, PID: pid, Txn: txn})
+	return err
+}
+
+// Sync commits a non-transaction process's modifications immediately.
+func (s *Site) Sync(fileID string, pid int, txn string) error {
+	s.st.Inc(stats.Syscalls)
+	_, err := s.callStorage(fileID, "sync", syncReq{FileID: fileID, PID: pid, Txn: txn})
+	return err
+}
+
+// Stat returns the file's working and committed sizes.
+func (s *Site) Stat(fileID string) (size, committed int64, err error) {
+	s.st.Inc(stats.Syscalls)
+	resp, err := s.callStorage(fileID, "stat", statReq{FileID: fileID})
+	if err != nil {
+		return 0, 0, err
+	}
+	r := resp.(statResp)
+	return r.Size, r.CommittedSize, nil
+}
+
+// List returns a volume's file names.
+func (s *Site) List(volume string) ([]string, error) {
+	s.st.Inc(stats.Syscalls)
+	resp, err := s.callStorage(volume+"/.", "list", listReq{Volume: volume})
+	if err != nil {
+		return nil, err
+	}
+	return resp.(listResp).Names, nil
+}
+
+// Read reads from the file on behalf of the process.  For transaction
+// processes the requesting kernel implicitly acquires the shared record
+// lock first (section 3.1: locks may be acquired implicitly at access
+// time), consulting its lock cache to skip the extra exchange when the
+// transaction already holds coverage (section 5.1).
+func (s *Site) Read(fileID string, pid int, txn string, off int64, n int) ([]byte, error) {
+	s.st.Inc(stats.Syscalls)
+	if txn != "" {
+		if err := s.ensureLocked(fileID, pid, txn, lockmgr.ModeShared, off, int64(n)); err != nil {
+			return nil, err
+		}
+	} else if data, ok := s.replicaRead(fileID, off, n); ok {
+		// Served by the closest available storage site: the local
+		// replica (section 5.2).  Transaction reads always go to the
+		// primary, where their locks live.
+		return data, nil
+	}
+	resp, err := s.callStorage(fileID, "read", readReq{FileID: fileID, Off: off, Len: n, PID: pid, Txn: txn})
+	if err != nil {
+		return nil, err
+	}
+	return resp.(readResp).Data, nil
+}
+
+// Write writes to the file on behalf of the process, implicitly acquiring
+// the exclusive record lock for transactions.
+func (s *Site) Write(fileID string, pid int, txn string, off int64, data []byte) (int, error) {
+	s.st.Inc(stats.Syscalls)
+	if txn != "" {
+		if err := s.ensureLocked(fileID, pid, txn, lockmgr.ModeExclusive, off, int64(len(data))); err != nil {
+			return 0, err
+		}
+	}
+	resp, err := s.callStorage(fileID, "write", writeReq{FileID: fileID, Off: off, Data: data, PID: pid, Txn: txn})
+	if err != nil {
+		return 0, err
+	}
+	return resp.(writeResp).N, nil
+}
+
+// Lock issues an explicit lock request (the Lock(file,length,mode) call
+// of section 3.2).  Granted locks are cached at the requesting site.
+func (s *Site) Lock(fileID string, pid int, txn string, mode lockmgr.Mode, off, length int64, atEOF, nonTxn, wait bool) (lockmgr.Result, error) {
+	s.st.Inc(stats.Syscalls)
+	resp, err := s.callStorage(fileID, "lock", lockReq{
+		FileID: fileID, PID: pid, Txn: txn, Mode: mode,
+		Off: off, Len: length, AtEOF: atEOF, NonTxn: nonTxn, Wait: wait,
+	})
+	if err != nil {
+		return lockmgr.Result{}, err
+	}
+	r := resp.(lockResp)
+	s.cacheAdd(fileID, Holder(pid, txn).Group(), mode, r.Off, r.Len)
+	return lockmgr.Result{Off: r.Off, Len: r.Len}, nil
+}
+
+// Unlock releases (or, for transactions, retains) the range.
+func (s *Site) Unlock(fileID string, pid int, txn string, off, length int64) (bool, error) {
+	s.st.Inc(stats.Syscalls)
+	resp, err := s.callStorage(fileID, "unlock", unlockReq{FileID: fileID, PID: pid, Txn: txn, Off: off, Len: length})
+	if err != nil {
+		return false, err
+	}
+	// The retained lock remains reacquirable by the transaction, so the
+	// cache entry stays valid for transactions; non-transaction holders
+	// lose coverage.
+	r := resp.(unlockResp)
+	if !r.Retained {
+		s.cacheTrim(fileID, Holder(pid, txn).Group(), off, length)
+	}
+	return r.Retained, nil
+}
+
+// ensureLocked implicitly acquires the record lock for a transaction
+// access, consulting the requester's lock cache first (unless the E8
+// ablation disabled it).
+func (s *Site) ensureLocked(fileID string, pid int, txn string, mode lockmgr.Mode, off, length int64) error {
+	group := Holder(pid, txn).Group()
+	preGroup := Holder(pid, "").Group()
+	if !s.cl.cfg.DisableLockCache &&
+		(s.cacheCovers(fileID, group, mode, off, length) ||
+			s.cacheCovers(fileID, preGroup, mode, off, length)) {
+		s.st.Inc(stats.LockCacheHits)
+		return nil
+	}
+	s.st.Inc(stats.LockCacheMisses)
+	_, err := s.Lock(fileID, pid, txn, mode, off, length, false, false, true)
+	return err
+}
+
+// ---- requesting-site lock cache (section 5.1) ----
+
+func (s *Site) cacheAdd(fileID, group string, mode lockmgr.Mode, off, length int64) {
+	if s.cl.cfg.DisableLockCache {
+		return
+	}
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	if s.lockCache == nil {
+		s.lockCache = make(map[string][]cachedLock)
+	}
+	s.lockCache[fileID] = append(s.lockCache[fileID], cachedLock{group: group, mode: mode, off: off, len: length})
+}
+
+func (s *Site) cacheCovers(fileID, group string, mode lockmgr.Mode, off, length int64) bool {
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	// Coverage check against the cached ranges: greedy sweep.
+	need := off
+	end := off + length
+	for need < end {
+		advanced := false
+		for _, c := range s.lockCache[fileID] {
+			if c.group == group && c.mode >= mode && c.off <= need && c.off+c.len > need {
+				if c.off+c.len > need {
+					need = c.off + c.len
+					advanced = true
+				}
+			}
+		}
+		if !advanced {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Site) cacheTrim(fileID, group string, off, length int64) {
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	var kept []cachedLock
+	for _, c := range s.lockCache[fileID] {
+		if c.group != group || c.off+c.len <= off || off+length <= c.off {
+			kept = append(kept, c)
+			continue
+		}
+		if c.off < off {
+			kept = append(kept, cachedLock{group: c.group, mode: c.mode, off: c.off, len: off - c.off})
+		}
+		if c.off+c.len > off+length {
+			kept = append(kept, cachedLock{group: c.group, mode: c.mode, off: off + length, len: c.off + c.len - off - length})
+		}
+	}
+	s.lockCache[fileID] = kept
+}
+
+// invalidateCacheGroup removes every cached lock of the group (commit,
+// abort, process close).
+func (s *Site) invalidateCacheGroup(group string) {
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	for fileID, locks := range s.lockCache {
+		var kept []cachedLock
+		for _, c := range locks {
+			if c.group != group {
+				kept = append(kept, c)
+			}
+		}
+		s.lockCache[fileID] = kept
+	}
+}

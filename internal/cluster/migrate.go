@@ -1,0 +1,227 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/proc"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+)
+
+// Process protocol payloads.
+
+type forkReq struct {
+	PID     int // new child's pid, allocated by the requester
+	Parent  int
+	TxnID   string
+	TopPID  int
+	TopSite simnet.SiteID
+}
+
+type adoptReq struct{ Proc *proc.Process }
+
+func (r adoptReq) WireSize() int { return 256 + 64*len(r.Proc.FileList) }
+
+type mergeFLReq struct {
+	PID   int
+	Files []proc.FileRef
+}
+
+type childMovedReq struct {
+	Parent int
+	Child  int
+	Site   simnet.SiteID
+}
+
+type whereisReq struct{ PID int }
+
+func (s *Site) registerProcHandlers() {
+	s.ep.Handle("forkproc", s.wrap(func(req any) (any, error) { return nil, s.handleFork(req.(forkReq)) }))
+	s.ep.Handle("adoptproc", s.wrap(func(req any) (any, error) { return nil, s.handleAdopt(req.(adoptReq)) }))
+	s.ep.Handle("mergefl", s.wrap(func(req any) (any, error) { return nil, s.handleMergeFL(req.(mergeFLReq)) }))
+	s.ep.Handle("childmoved", s.wrap(func(req any) (any, error) { return nil, s.handleChildMoved(req.(childMovedReq)) }))
+	s.ep.Handle("whereis", s.wrap(func(req any) (any, error) {
+		here, err := s.handleWhereis(req.(whereisReq))
+		return here, err
+	}))
+}
+
+func (s *Site) handleFork(req forkReq) error {
+	p := s.procs.NewProcess(req.PID, req.Parent)
+	p.TxnID = req.TxnID
+	p.TopPID = req.TopPID
+	p.TopSite = req.TopSite
+	s.st.Add(stats.Instructions, costmodel.InstrProcessFork)
+	return nil
+}
+
+func (s *Site) handleAdopt(req adoptReq) error {
+	s.procs.Adopt(req.Proc)
+	return nil
+}
+
+func (s *Site) handleMergeFL(req mergeFLReq) error {
+	return s.procs.MergeFileList(req.PID, req.Files)
+}
+
+func (s *Site) handleChildMoved(req childMovedReq) error {
+	if req.Site < 0 {
+		// Negative site marks a completed child: drop the reference.
+		return s.procs.RemoveChild(req.Parent, req.Child)
+	}
+	return s.procs.UpdateChildSite(req.Parent, req.Child, req.Site)
+}
+
+func (s *Site) handleWhereis(req whereisReq) (bool, error) {
+	_, err := s.procs.Get(req.PID)
+	return err == nil, nil
+}
+
+// ---- requesting-site process operations ----
+
+// Spawn creates a process at the target site as a child of parentPID
+// (which must reside at this site).  The child inherits the parent's
+// transaction identifier (section 3.1) and the location of the top-level
+// process for its eventual file-list merge.
+func (s *Site) Spawn(parentPID int, at simnet.SiteID) (int, error) {
+	parent, err := s.procs.Info(parentPID)
+	if err != nil {
+		return 0, err
+	}
+	pid := s.cl.NewPID()
+	topPID, topSite := parent.TopPID, parent.TopSite
+	if parent.TopLevel {
+		topPID, topSite = parent.PID, parent.Site
+	}
+	req := forkReq{PID: pid, Parent: parentPID, TxnID: parent.TxnID, TopPID: topPID, TopSite: topSite}
+	if _, err := s.ep.Call(at, "forkproc", req); err != nil {
+		return 0, err
+	}
+	if err := s.procs.AddChild(parentPID, proc.ChildRef{PID: pid, Site: at}); err != nil {
+		return 0, err
+	}
+	return pid, nil
+}
+
+// Migrate moves a resident process to another site, making the move
+// appear atomic via the in-transit marking of section 4.1.  A merge in
+// progress defers the migration briefly (ErrBusy -> retry).
+func (s *Site) Migrate(pid int, to simnet.SiteID) error {
+	if to == s.id {
+		return nil
+	}
+	var p *proc.Process
+	for attempt := 0; ; attempt++ {
+		var err error
+		p, err = s.procs.BeginMigrate(pid)
+		if err == nil {
+			break
+		}
+		if errors.Is(err, proc.ErrBusy) && attempt < 50 {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		return err
+	}
+	s.st.Add(stats.Instructions, costmodel.InstrProcessMigrate)
+	if _, err := s.ep.Call(to, "adoptproc", adoptReq{Proc: p}); err != nil {
+		s.procs.CancelMigrate(pid)
+		return fmt.Errorf("cluster: migrate pid %d to %v: %w", pid, to, err)
+	}
+	s.procs.CompleteMigrate(pid)
+	// Tell the parent so the abort cascade can find the child at its new
+	// home; the parent itself may be migrating, so this retries until
+	// the update lands at the parent's settled table.
+	if p.Parent != 0 {
+		s.notifyChildMoved(childMovedReq{Parent: p.Parent, Child: pid, Site: to})
+	}
+	return nil
+}
+
+// notifyChildMoved delivers a child-list update to whichever site holds
+// the (settled) parent, retrying across migrations.  A parent that no
+// longer exists anywhere is eventually given up on.
+func (s *Site) notifyChildMoved(req childMovedReq) {
+	for attempt := 0; attempt < 100; attempt++ {
+		for _, siteID := range s.cl.Sites() {
+			if _, err := s.ep.Call(siteID, "childmoved", req); err == nil {
+				return
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// MergeToTop sends a completed child's file-list to the transaction's
+// top-level process, retrying when the top-level process has migrated or
+// is in transit (section 4.1).  It first tries the hint site, then asks
+// around.
+func (s *Site) MergeToTop(topPID int, hint simnet.SiteID, files []proc.FileRef) error {
+	const attempts = 20
+	var lastErr error
+	try := func(site simnet.SiteID) (bool, error) {
+		_, err := s.ep.Call(site, "mergefl", mergeFLReq{PID: topPID, Files: files})
+		if err == nil {
+			return true, nil
+		}
+		lastErr = err
+		var re *simnet.RemoteError
+		if errors.As(err, &re) {
+			// Not resident or in transit: retry elsewhere/later.
+			return false, nil
+		}
+		return false, nil // transport error: also retry
+	}
+	for attempt := 0; attempt < attempts; attempt++ {
+		if ok, err := try(hint); ok || err != nil {
+			return err
+		}
+		// Ask every other site.
+		for _, siteID := range s.cl.Sites() {
+			if siteID == hint {
+				continue
+			}
+			resp, err := s.ep.Call(siteID, "whereis", whereisReq{PID: topPID})
+			if err != nil || resp != true {
+				continue
+			}
+			if ok, err := try(siteID); ok || err != nil {
+				return err
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return fmt.Errorf("cluster: file-list merge to pid %d failed: %w", topPID, lastErr)
+}
+
+// ExitProc completes a process: within a transaction, its file-list is
+// merged into the top-level process before the process disappears, so the
+// coordinator eventually knows every file the transaction used.
+func (s *Site) ExitProc(pid int) error {
+	p, err := s.procs.Info(pid)
+	if err != nil {
+		return err
+	}
+	if p.TxnID != "" && !p.TopLevel && p.TopPID != 0 {
+		files, err := s.procs.FileList(pid)
+		if err != nil {
+			return err
+		}
+		if len(files) > 0 {
+			if err := s.MergeToTop(p.TopPID, p.TopSite, files); err != nil {
+				return err
+			}
+		}
+	}
+	// Drop from the parent's child list before the process disappears,
+	// synchronously and migration-proof: EndTrans at the top level
+	// checks for live children.
+	if p.Parent != 0 {
+		s.notifyChildMoved(childMovedReq{Parent: p.Parent, Child: pid, Site: -1})
+	}
+	s.procs.Remove(pid)
+	return nil
+}

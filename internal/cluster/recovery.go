@@ -1,0 +1,254 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fs"
+	"repro/internal/lockmgr"
+	"repro/internal/proc"
+	"repro/internal/shadow"
+	"repro/internal/simnet"
+	"repro/internal/tpc"
+)
+
+// Crash takes the site down: network detached, disks lose their volatile
+// (unflushed) pages, and all kernel memory - open files, lock lists,
+// process table, lock cache, prepared-transaction map - is forfeit.  The
+// in-memory state is actually discarded at Restart, which is equivalent
+// and keeps Crash callable from topology-watch goroutines.
+func (s *Site) Crash() {
+	s.mu.Lock()
+	s.up = false
+	vols := make([]*volState, 0, len(s.vols))
+	for _, vs := range s.vols {
+		vols = append(vols, vs)
+	}
+	for _, rep := range s.replicas {
+		vols = append(vols, rep.vs)
+	}
+	s.mu.Unlock()
+	s.cl.net.CrashSite(s.id)
+	for _, vs := range vols {
+		vs.disk.Crash()
+	}
+}
+
+// Restart brings the site back: volumes are reloaded from stable storage,
+// prepared shadow pages are pinned before any allocation, the transaction
+// recovery mechanism runs before new transactions are admitted (section
+// 4.4), and only then does the site rejoin the network.
+//
+// Recovery order, per the paper:
+//
+//  1. reload each volume; the load scan reclaims orphan shadow pages
+//     (transactions that never prepared are thereby aborted);
+//  2. pin every page named by a surviving prepare record;
+//  3. resolve in-doubt prepared transactions by querying their
+//     coordinators; unreachable coordinators leave the transaction in
+//     doubt with its locks re-established;
+//  4. replay this site's own coordinator log: committed transactions
+//     re-enter phase two, anything else is aborted.
+func (s *Site) Restart() error {
+	s.mu.Lock()
+	vols := make([]*volState, 0, len(s.vols))
+	for _, vs := range s.vols {
+		vols = append(vols, vs)
+	}
+	// Forfeit kernel memory.
+	s.open = make(map[string]*openFile)
+	s.locks = lockmgr.NewManager(s.st)
+	s.procs = proc.NewTable(s.id, s.st)
+	s.prepared = make(map[string]*preparedTxn)
+	s.coord = nil
+	s.mu.Unlock()
+	s.cacheMu.Lock()
+	s.lockCache = make(map[string][]cachedLock)
+	s.cacheMu.Unlock()
+
+	// 1-2: reload volumes, pin prepared pages.
+	for _, vs := range vols {
+		vs.disk.Restart()
+		vol, err := fs.Load(vs.name, vs.disk)
+		if err != nil {
+			return fmt.Errorf("cluster: reload %q: %w", vs.name, err)
+		}
+		vol.DoubleLogWrite = s.cl.cfg.DoubleLogWrites
+		vs.vol = vol
+		if err := tpc.PinPreparedPages(vol); err != nil {
+			return err
+		}
+		if err := vs.loadDirectory(); err != nil {
+			return err
+		}
+	}
+	// Reload replica volumes; conservatively forward all reads to the
+	// primary until the next propagation refreshes each file.
+	s.mu.Lock()
+	reps := make([]*replicaState, 0, len(s.replicas))
+	for _, rep := range s.replicas {
+		reps = append(reps, rep)
+	}
+	s.mu.Unlock()
+	for _, rep := range reps {
+		rep.vs.disk.Restart()
+		vol, err := fs.Load(rep.vs.name, rep.vs.disk)
+		if err != nil {
+			return fmt.Errorf("cluster: reload replica %q: %w", rep.vs.name, err)
+		}
+		rep.vs.vol = vol
+		if err := rep.vs.loadDirectory(); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		rep.files = make(map[string]*shadow.File)
+		s.mu.Unlock()
+	}
+
+	// Rejoin the network so coordinator queries can flow both ways.
+	s.mu.Lock()
+	s.up = true
+	s.mu.Unlock()
+	s.cl.net.RestartSite(s.id)
+
+	// 3: participant recovery per volume.
+	for _, vs := range vols {
+		vs := vs
+		res, err := tpc.RecoverParticipant(vs.vol, s.QueryStatus, func(rec tpc.PrepareRecord) {
+			s.relockRecovered(vs, rec)
+		})
+		if err != nil {
+			return err
+		}
+		_ = res
+	}
+
+	// 4: coordinator recovery.
+	coord, err := s.Coordinator()
+	if err == nil {
+		if rerr := coord.Recover(); rerr != nil {
+			return rerr
+		}
+	}
+
+	// Refresh replica contents (stale copies forward to the primary
+	// until the pull completes).
+	s.resyncReplicas()
+	return nil
+}
+
+// relockRecovered registers an in-doubt prepared transaction after a
+// restart: its prepare record is remembered (so a later commit or abort
+// message can be applied from the log) and its retained locks are
+// re-established so other users stay excluded until the outcome arrives.
+func (s *Site) relockRecovered(vs *volState, rec tpc.PrepareRecord) {
+	s.mu.Lock()
+	pt := s.prepared[rec.Txid]
+	if pt == nil {
+		pt = &preparedTxn{coord: rec.CoordSite, recovered: true}
+		s.prepared[rec.Txid] = pt
+	}
+	pt.recovered = true
+	pt.records = append(pt.records, volRecord{volume: vs.name, rec: rec})
+	for _, pf := range rec.Files {
+		pt.fileIDs = append(pt.fileIDs, pf.FileID)
+	}
+	s.mu.Unlock()
+
+	// Re-establish the retained locks from the logged lock list.  The
+	// holder process is gone; the transaction group is what matters.
+	h := lockmgr.Holder{PID: 0, Txn: rec.Txid}
+	for _, li := range rec.Locks {
+		fl := s.locks.File(li.FileID, nil)
+		fl.Lock(lockmgr.Request{ //nolint:errcheck // re-granting our own logged locks cannot conflict
+			Holder: h, Mode: li.Mode, Off: li.Off, Len: li.Len,
+		})
+	}
+}
+
+// ResolveInDoubt retries participant recovery for transactions whose
+// coordinator was unreachable at restart.  Returns the number still in
+// doubt.
+func (s *Site) ResolveInDoubt() (int, error) {
+	s.mu.Lock()
+	var txids []string
+	for txid, pt := range s.prepared {
+		if pt.recovered {
+			txids = append(txids, txid)
+		}
+	}
+	s.mu.Unlock()
+	sort.Strings(txids)
+
+	remaining := 0
+	for _, txid := range txids {
+		s.mu.Lock()
+		pt := s.prepared[txid]
+		s.mu.Unlock()
+		if pt == nil {
+			continue
+		}
+		st, err := s.QueryStatus(pt.coord, txid)
+		if err != nil {
+			remaining++
+			continue
+		}
+		switch st {
+		case tpc.StatusCommitted:
+			if err := s.handleCommit2(commit2Req{Txid: txid}); err != nil {
+				return remaining, err
+			}
+		default:
+			if err := s.handleAbortTxn(abortTxnReq{Txid: txid}); err != nil {
+				return remaining, err
+			}
+		}
+	}
+	return remaining, nil
+}
+
+// InDoubtCount returns how many recovered prepared transactions still
+// await their coordinator.
+func (s *Site) InDoubtCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, pt := range s.prepared {
+		if pt.recovered {
+			n++
+		}
+	}
+	return n
+}
+
+// Volumes returns the site's volume names, sorted.
+func (s *Site) Volumes() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.vols))
+	for n := range s.vols {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Volume returns a mounted volume (tests and tools reach through this).
+func (s *Site) Volume(name string) *fs.Volume {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if vs, ok := s.vols[name]; ok {
+		return vs.vol
+	}
+	return nil
+}
+
+// CrashSiteOf is a convenience for tests: crash the storage site of path.
+func (c *Cluster) CrashSiteOf(path string) (simnet.SiteID, error) {
+	site, err := c.StorageSite(path)
+	if err != nil {
+		return 0, err
+	}
+	c.Site(site).Crash()
+	return site, nil
+}

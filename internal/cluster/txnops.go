@@ -1,0 +1,387 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/lockmgr"
+	"repro/internal/shadow"
+	"repro/internal/simnet"
+	"repro/internal/tpc"
+)
+
+// Transaction protocol payloads.
+
+type prepareReq struct {
+	Txid    string
+	FileIDs []string
+	Coord   simnet.SiteID
+}
+
+func (r prepareReq) WireSize() int {
+	n := 64
+	for _, f := range r.FileIDs {
+		n += len(f) + 8
+	}
+	return n
+}
+
+type commit2Req struct{ Txid string }
+type abortTxnReq struct{ Txid string }
+type statusReq struct{ Txid string }
+type statusResp struct{ Status tpc.Status }
+type waitEdgesResp struct{ Edges []lockmgr.WaitEdge }
+
+// registerHandlers installs every kernel message handler for the site.
+func (s *Site) registerHandlers() {
+	s.registerFileHandlers()
+	s.registerProcHandlers()
+	s.registerReplicaHandlers()
+	s.ep.Handle("prepare", s.wrap(func(req any) (any, error) { return nil, s.handlePrepare(req.(prepareReq)) }))
+	s.ep.Handle("commit2", s.wrap(func(req any) (any, error) { return nil, s.handleCommit2(req.(commit2Req)) }))
+	s.ep.Handle("abortTxn", s.wrap(func(req any) (any, error) { return nil, s.handleAbortTxn(req.(abortTxnReq)) }))
+	s.ep.Handle("status", s.wrap(func(req any) (any, error) { return s.handleStatus(req.(statusReq)) }))
+	s.ep.Handle("waitedges", s.wrap(func(req any) (any, error) {
+		return waitEdgesResp{Edges: s.locks.WaitEdges()}, nil
+	}))
+}
+
+// siteTransport adapts the site's endpoint to tpc.Transport.
+type siteTransport struct{ s *Site }
+
+func (t *siteTransport) SendPrepare(site simnet.SiteID, txid string, fileIDs []string, coord simnet.SiteID) error {
+	_, err := t.s.ep.Call(site, "prepare", prepareReq{Txid: txid, FileIDs: fileIDs, Coord: coord})
+	return err
+}
+
+func (t *siteTransport) SendCommit(site simnet.SiteID, txid string) error {
+	_, err := t.s.ep.Call(site, "commit2", commit2Req{Txid: txid})
+	return err
+}
+
+func (t *siteTransport) SendAbort(site simnet.SiteID, txid string) error {
+	_, err := t.s.ep.Call(site, "abortTxn", abortTxnReq{Txid: txid})
+	return err
+}
+
+// handlePrepare is the participant's first phase (section 4.2): flush the
+// transaction's modified records, write the prepare log (intentions lists
+// and lock lists, one record per volume - or per file under the
+// footnote-10 option), and remember the prepared state.
+func (s *Site) handlePrepare(req prepareReq) error {
+	owner := TxnOwner(req.Txid)
+	group := TxnGroup(req.Txid)
+
+	// Gather per-volume prepare payloads.
+	type volPrep struct {
+		vs    *volState
+		files []tpc.PreparedFile
+		locks []tpc.LockInfo
+	}
+	byVol := make(map[string]*volPrep)
+	var volNames []string
+	for _, fileID := range req.FileIDs {
+		of, err := s.lookupOpen(fileID)
+		if err != nil {
+			return err
+		}
+		if err := of.file.Flush(owner); err != nil {
+			return err
+		}
+		vp := byVol[of.vs.name]
+		if vp == nil {
+			vp = &volPrep{vs: of.vs}
+			byVol[of.vs.name] = vp
+			volNames = append(volNames, of.vs.name)
+		}
+		il := of.file.IntentionsFor(owner)
+		vp.files = append(vp.files, tpc.PreparedFile{FileID: fileID, Intentions: il})
+		for _, e := range of.locks.Entries() {
+			if e.Holder.Group() == group {
+				vp.locks = append(vp.locks, tpc.LockInfo{
+					FileID: fileID, Mode: e.Mode, Off: e.Off, Len: e.Len,
+				})
+			}
+		}
+	}
+	sort.Strings(volNames)
+
+	for _, vn := range volNames {
+		vp := byVol[vn]
+		if s.cl.cfg.PerFilePrepareLogs {
+			// Footnote 10: one prepare record per file per transaction.
+			for _, pf := range vp.files {
+				rec := tpc.PrepareRecord{
+					Txid: req.Txid, CoordSite: req.Coord,
+					Files: []tpc.PreparedFile{pf},
+					Locks: vp.locks,
+				}
+				if err := tpc.WritePrepareRecord(vp.vs.vol, rec, pf.FileID); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		rec := tpc.PrepareRecord{
+			Txid: req.Txid, CoordSite: req.Coord,
+			Files: vp.files, Locks: vp.locks,
+		}
+		if err := tpc.WritePrepareRecord(vp.vs.vol, rec, ""); err != nil {
+			return err
+		}
+	}
+
+	s.mu.Lock()
+	s.prepared[req.Txid] = &preparedTxn{coord: req.Coord, fileIDs: append([]string(nil), req.FileIDs...)}
+	s.mu.Unlock()
+	return nil
+}
+
+// handleCommit2 is the participant's second phase: apply the single-file
+// commit for every prepared file, release the transaction's retained
+// locks, and clear the prepare log.  Duplicate commit messages are
+// harmless: an unknown transaction acknowledges silently (its work is
+// already done), per section 4.4.
+func (s *Site) handleCommit2(req commit2Req) error {
+	s.mu.Lock()
+	pt, ok := s.prepared[req.Txid]
+	if ok {
+		delete(s.prepared, req.Txid)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return nil // duplicate or already-finished: idempotent ack
+	}
+	owner := TxnOwner(req.Txid)
+
+	if pt.recovered {
+		// The in-memory working state died with the crash; apply the
+		// logged intentions instead.
+		if err := s.applyRecovered(pt); err != nil {
+			return err
+		}
+	} else {
+		for _, fileID := range pt.fileIDs {
+			of, err := s.lookupOpen(fileID)
+			if err != nil {
+				return err
+			}
+			if of.file.HasMods(owner) {
+				if err := of.file.Commit(owner); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	s.finishTxn(req.Txid, pt.fileIDs)
+	return nil
+}
+
+// handleAbortTxn rolls back everything the transaction touched at this
+// site: in-memory modifications in every open file, prepared state, and
+// locks.  It is idempotent, as required for duplicate abort messages.
+func (s *Site) handleAbortTxn(req abortTxnReq) error {
+	owner := TxnOwner(req.Txid)
+
+	s.mu.Lock()
+	pt := s.prepared[req.Txid]
+	delete(s.prepared, req.Txid)
+	files := make([]*openFile, 0, len(s.open))
+	for _, of := range s.open {
+		files = append(files, of)
+	}
+	s.mu.Unlock()
+
+	if pt != nil && pt.recovered {
+		if err := s.discardRecovered(pt); err != nil {
+			return err
+		}
+	} else {
+		for _, of := range files {
+			if of.file.HasMods(owner) {
+				if err := of.file.Abort(owner); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	var fileIDs []string
+	if pt != nil {
+		fileIDs = pt.fileIDs
+	}
+	s.finishTxn(req.Txid, fileIDs)
+	return nil
+}
+
+// finishTxn releases the transaction's locks everywhere at this site and
+// clears its prepare records.
+func (s *Site) finishTxn(txid string, fileIDs []string) {
+	s.locks.ReleaseGroup(TxnGroup(txid))
+	s.invalidateCacheGroup(TxnGroup(txid))
+
+	s.mu.Lock()
+	vols := make([]*volState, 0, len(s.vols))
+	for _, vs := range s.vols {
+		vols = append(vols, vs)
+	}
+	s.mu.Unlock()
+	for _, vs := range vols {
+		tpc.DeletePrepareRecords(vs.vol, txid) //nolint:errcheck // best effort; recovery re-resolves leftovers
+	}
+	// Propagate committed contents to replicas of quiesced files, then
+	// retire idle open files the transaction was keeping alive.
+	s.mu.Lock()
+	involved := make([]*openFile, 0, len(s.open))
+	for _, of := range s.open {
+		involved = append(involved, of)
+	}
+	s.mu.Unlock()
+	for _, of := range involved {
+		s.maybeSyncReplicas(of)
+	}
+	s.mu.Lock()
+	for id, of := range s.open {
+		if of.refs <= 0 && len(of.file.Owners()) == 0 && len(of.locks.Entries()) == 0 {
+			delete(s.open, id)
+			s.locks.Drop(id)
+		}
+	}
+	s.mu.Unlock()
+	_ = fileIDs
+}
+
+// handleStatus answers an in-doubt participant's query against this
+// site's coordinator state (section 4.4).
+func (s *Site) handleStatus(req statusReq) (statusResp, error) {
+	coord, err := s.Coordinator()
+	if err != nil {
+		return statusResp{}, err
+	}
+	return statusResp{Status: coord.StatusOf(req.Txid)}, nil
+}
+
+// QueryStatus asks a remote coordinator for a transaction's outcome.
+func (s *Site) QueryStatus(coordSite simnet.SiteID, txid string) (tpc.Status, error) {
+	resp, err := s.ep.Call(coordSite, "status", statusReq{Txid: txid})
+	if err != nil {
+		return tpc.StatusUnknown, err
+	}
+	return resp.(statusResp).Status, nil
+}
+
+// WaitEdges collects wait-for edges from every reachable site - the data
+// source for the user-level deadlock detector (section 3.1).
+func (c *Cluster) WaitEdges() []lockmgr.WaitEdge {
+	var out []lockmgr.WaitEdge
+	for _, id := range c.Sites() {
+		s := c.Site(id)
+		if s == nil || !s.Up() {
+			continue
+		}
+		out = append(out, s.locks.WaitEdges()...)
+	}
+	return out
+}
+
+// AbortEverywhere broadcasts a transaction abort to every reachable site,
+// implementing the cascade's data side (the process-tree side is driven
+// by package core).  Unreachable sites clean up during their own
+// recovery.
+func (s *Site) AbortEverywhere(txid string) {
+	for _, id := range s.cl.Sites() {
+		s.ep.Call(id, "abortTxn", abortTxnReq{Txid: txid}) //nolint:errcheck // down sites roll back on restart (section 4.3)
+	}
+}
+
+// applyRecovered replays logged intentions for a transaction committed
+// after this site crashed between prepare and phase two.
+func (s *Site) applyRecovered(pt *preparedTxn) error {
+	for _, vr := range pt.records {
+		vs, err := s.volByName(vr.volume)
+		if err != nil {
+			return err
+		}
+		for _, pf := range vr.rec.Files {
+			if err := shadow.ApplyIntentions(vs.vol, pf.Intentions); err != nil {
+				return fmt.Errorf("cluster: apply intentions for %s: %w", pf.FileID, err)
+			}
+			s.dropOpen(pf.FileID)
+		}
+	}
+	return nil
+}
+
+// discardRecovered releases the shadow pages of an aborted recovered
+// transaction.
+func (s *Site) discardRecovered(pt *preparedTxn) error {
+	for _, vr := range pt.records {
+		vs, err := s.volByName(vr.volume)
+		if err != nil {
+			return err
+		}
+		for _, pf := range vr.rec.Files {
+			if err := shadow.DiscardIntentions(vs.vol, pf.Intentions); err != nil {
+				return fmt.Errorf("cluster: discard intentions for %s: %w", pf.FileID, err)
+			}
+			s.dropOpen(pf.FileID)
+		}
+	}
+	return nil
+}
+
+// dropOpen refreshes a cached open file whose on-disk inode changed
+// behind its back (recovery path): live handles keep working against the
+// reloaded descriptor.
+func (s *Site) dropOpen(fileID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	of, ok := s.open[fileID]
+	if !ok {
+		return
+	}
+	if f, err := shadow.Open(of.vs.vol, of.file.Ino()); err == nil {
+		of.file = f
+	} else {
+		delete(s.open, fileID)
+	}
+}
+
+// reapReq cleans up after a dead non-transaction process.
+type reapReq struct{ PID int }
+
+// ReapProcess discards a dead non-transaction process's uncommitted
+// modifications and releases its locks at every reachable site - the
+// kernel-level cleanup behind process death ("its open files will be
+// closed and changes aborted by the underlying system protocols",
+// section 4.3, applied to the non-transaction case without the commit a
+// live close performs).
+func (c *Cluster) ReapProcess(pid int) {
+	for _, id := range c.Sites() {
+		s := c.Site(id)
+		if s == nil || !s.Up() {
+			continue
+		}
+		s.reapLocal(pid)
+	}
+}
+
+func (s *Site) reapLocal(pid int) {
+	owner := ownerFor(pid, "")
+	group := lockmgr.Holder{PID: pid}.Group()
+	s.mu.Lock()
+	files := make([]*openFile, 0, len(s.open))
+	for _, of := range s.open {
+		files = append(files, of)
+	}
+	s.mu.Unlock()
+	for _, of := range files {
+		if of.file.HasMods(owner) {
+			of.file.Abort(owner) //nolint:errcheck // best-effort reaping of a dead process
+		}
+	}
+	s.locks.ReleaseGroup(group)
+	s.invalidateCacheGroup(group)
+	for _, of := range files {
+		s.maybeSyncReplicas(of)
+	}
+}

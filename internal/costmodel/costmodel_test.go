@@ -1,0 +1,129 @@
+package costmodel
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// The Vax750 model must reproduce the paper's own calibration points.
+
+func TestVax750LocalLockCost(t *testing.T) {
+	// Section 6.2: ~750 instructions = 1.5 ms per local lock excluding
+	// system call overhead; ~2 ms including it.
+	m := Vax750()
+	s := stats.NewSet()
+	s.Add(stats.Instructions, 750)
+	noSyscall := m.ServiceTime(s.Snapshot())
+	if noSyscall != 1500*time.Microsecond {
+		t.Fatalf("750 instr = %v, want 1.5ms", noSyscall)
+	}
+	s.Inc(stats.Syscalls)
+	withSyscall := m.ServiceTime(s.Snapshot())
+	if withSyscall < 1800*time.Microsecond || withSyscall > 2200*time.Microsecond {
+		t.Fatalf("lock incl. syscall = %v, want ~2ms", withSyscall)
+	}
+}
+
+func TestVax750RemoteLockRTT(t *testing.T) {
+	// Section 6.2: remote locking ~18 ms, dominated by the ~16 ms round
+	// trip of two small messages.
+	m := Vax750()
+	s := stats.NewSet()
+	s.Add(stats.MsgsSent, 2)
+	s.Add(stats.BytesSent, 128)
+	rtt := m.NetTime(s.Snapshot())
+	if rtt < 15*time.Millisecond || rtt > 17*time.Millisecond {
+		t.Fatalf("small-message RTT = %v, want ~16ms", rtt)
+	}
+}
+
+func TestVax750CommitLatencyShape(t *testing.T) {
+	// Figure 6 non-overlap local commit: 9450 instructions (21 ms
+	// service) and 73 ms latency; the gap is two synchronous page writes.
+	m := Vax750()
+	s := stats.NewSet()
+	s.Add(stats.Instructions, 9450)
+	s.Add(stats.DiskWrites, 2)
+	snap := s.Snapshot()
+	svc := m.ServiceTime(snap)
+	if svc < 18*time.Millisecond || svc > 22*time.Millisecond {
+		t.Fatalf("service = %v, want ~21ms", svc)
+	}
+	lat := m.Latency(snap)
+	if lat < 68*time.Millisecond || lat > 78*time.Millisecond {
+		t.Fatalf("latency = %v, want ~73ms", lat)
+	}
+}
+
+func TestVax750DifferencingCopyCost(t *testing.T) {
+	// Footnote 11: copying a substantial portion of a 4 KB page (vs a
+	// 1 KB page) adds about 1 ms, i.e. ~3 KB of extra copy.
+	m := Vax750()
+	s1 := stats.NewSet()
+	s1.Add(stats.BytesCopied, 1024)
+	s4 := stats.NewSet()
+	s4.Add(stats.BytesCopied, 4096)
+	delta := m.ServiceTime(s4.Snapshot()) - m.ServiceTime(s1.Snapshot())
+	if delta < 800*time.Microsecond || delta > 1300*time.Microsecond {
+		t.Fatalf("4K-1K copy delta = %v, want ~1ms", delta)
+	}
+}
+
+func TestLatencyDecomposition(t *testing.T) {
+	m := Vax750()
+	s := stats.NewSet()
+	s.Add(stats.Instructions, 1000)
+	s.Add(stats.DiskReads, 1)
+	s.Add(stats.DiskWrites, 2)
+	s.Add(stats.MsgsSent, 2)
+	snap := s.Snapshot()
+	if m.Latency(snap) != m.ServiceTime(snap)+m.IOTime(snap)+m.NetTime(snap) {
+		t.Fatal("Latency != Service + IO + Net")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	m := Vax750()
+	s := stats.NewSet()
+	s.Add(stats.Instructions, 9450)
+	s.Add(stats.DiskWrites, 2)
+	r := m.Report(s.Snapshot())
+	out := r.String()
+	if !strings.Contains(out, "service") || !strings.Contains(out, "latency") {
+		t.Fatalf("Report.String = %q", out)
+	}
+	if r.Instructions != 9450 {
+		t.Fatalf("Report.Instructions = %d", r.Instructions)
+	}
+}
+
+func TestModernIsFasterEverywhere(t *testing.T) {
+	// The Modern model shrinks every absolute number but preserves the
+	// structure: a remote operation still pays RTTs, disk still costs
+	// more than CPU-only work.
+	vax, mod := Vax750(), Modern()
+	s := stats.NewSet()
+	s.Add(stats.Instructions, 10000)
+	s.Add(stats.DiskReads, 3)
+	s.Add(stats.DiskWrites, 3)
+	s.Add(stats.MsgsSent, 4)
+	s.Add(stats.BytesSent, 4096)
+	snap := s.Snapshot()
+	if mod.Latency(snap) >= vax.Latency(snap) {
+		t.Fatalf("modern latency %v >= vax latency %v", mod.Latency(snap), vax.Latency(snap))
+	}
+	if mod.ServiceTime(snap) >= vax.ServiceTime(snap) {
+		t.Fatal("modern service >= vax service")
+	}
+}
+
+func TestZeroSnapshotCostsNothing(t *testing.T) {
+	var snap stats.Snapshot
+	m := Vax750()
+	if m.Latency(snap) != 0 || m.ServiceTime(snap) != 0 || m.Instructions(snap) != 0 {
+		t.Fatal("zero snapshot has non-zero cost")
+	}
+}

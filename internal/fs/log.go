@@ -1,0 +1,368 @@
+package fs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"sync"
+
+	"repro/internal/costmodel"
+	"repro/internal/simdisk"
+	"repro/internal/stats"
+)
+
+// LogKind classifies log records so recovery can dispatch them; the kind
+// also selects the I/O accounting class (Figure 5 separates coordinator
+// log writes from prepare log writes).
+type LogKind int
+
+// Log record kinds.
+const (
+	// KindCoordinator is a transaction coordinator log record: the
+	// transaction ID, the participating files with their storage sites,
+	// and the status marker (section 4.2).
+	KindCoordinator LogKind = iota + 1
+	// KindPrepare is a participant prepare log record: intentions lists
+	// and lock lists sufficient to finish the commit after a local
+	// failure (section 4.2).
+	KindPrepare
+)
+
+// String names the kind.
+func (k LogKind) String() string {
+	switch k {
+	case KindCoordinator:
+		return "coordinator"
+	case KindPrepare:
+		return "prepare"
+	}
+	return fmt.Sprintf("logkind(%d)", int(k))
+}
+
+func (k LogKind) ioKind() simdisk.IOKind {
+	if k == KindCoordinator {
+		return simdisk.IOCoordLog
+	}
+	return simdisk.IOPrepareLog
+}
+
+// Errors returned by the log store.
+var (
+	ErrLogFull     = errors.New("fs: log area full")
+	ErrLogTooBig   = errors.New("fs: log record exceeds log area")
+	ErrLogNotFound = errors.New("fs: log record not found")
+	ErrLogCorrupt  = errors.New("fs: log record corrupt")
+)
+
+const (
+	logMagic uint32 = 0x4C524543 // "LREC"
+	// logHeaderBytes: magic(4) kind(4) keyLen(4) payLen(4) nCont(4).
+	logHeaderBytes = 20
+	logCRCBytes    = 4
+)
+
+// Record is one stored log record.
+type Record struct {
+	Key     string
+	Kind    LogKind
+	Payload []byte
+}
+
+// LogStore is the per-volume keyed log area.  A Put with an existing key
+// overwrites the record in place, which is how the coordinator's status
+// marker flips from "unknown" to "committed" in a single write - the
+// transaction commit point (section 4.2).  Records survive crashes:
+// every Put is synchronous.
+//
+// Records larger than one page spill onto continuation pages, each
+// charged as a log write; the paper's single-page case therefore costs
+// exactly one I/O (or two with Volume.DoubleLogWrite, reproducing
+// footnote 9).
+type LogStore struct {
+	v *Volume
+
+	mu    sync.Mutex
+	slots map[string][]int // key -> pages (header first)
+	free  []int            // free log pages, ascending
+}
+
+func newLogStore(v *Volume) *LogStore {
+	l := &LogStore{v: v, slots: make(map[string][]int)}
+	for p := v.geo.LogStart; p < v.geo.LogStart+v.geo.LogPages; p++ {
+		l.free = append(l.free, p)
+	}
+	return l
+}
+
+// load scans the log area after a crash, rebuilding the key index.  Only
+// header pages that pass their checksum are honored; torn or stale pages
+// are treated as free.
+func (l *LogStore) load() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.slots = make(map[string][]int)
+	used := make(map[int]bool)
+	for p := l.v.geo.LogStart; p < l.v.geo.LogStart+l.v.geo.LogPages; p++ {
+		rec, pages, err := l.readHeader(p)
+		if err != nil || rec == nil {
+			continue
+		}
+		l.slots[rec.Key] = pages
+		for _, pg := range pages {
+			used[pg] = true
+		}
+	}
+	l.free = nil
+	for p := l.v.geo.LogStart; p < l.v.geo.LogStart+l.v.geo.LogPages; p++ {
+		if !used[p] {
+			l.free = append(l.free, p)
+		}
+	}
+	return nil
+}
+
+// readHeader parses a candidate header page; returns (nil, nil, nil) for
+// free/continuation/invalid pages.
+func (l *LogStore) readHeader(page int) (*Record, []int, error) {
+	buf, err := l.v.disk.ReadPage(page, simdisk.IOMeta)
+	if err != nil {
+		return nil, nil, err
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != logMagic {
+		return nil, nil, nil
+	}
+	kind := LogKind(binary.LittleEndian.Uint32(buf[4:]))
+	keyLen := int(binary.LittleEndian.Uint32(buf[8:]))
+	payLen := int(binary.LittleEndian.Uint32(buf[12:]))
+	nCont := int(binary.LittleEndian.Uint32(buf[16:]))
+	ps := l.v.geo.PageSize
+	if keyLen < 0 || payLen < 0 || nCont < 0 || nCont > l.v.geo.LogPages {
+		return nil, nil, nil
+	}
+	fixed := logHeaderBytes + 4*nCont + keyLen + logCRCBytes
+	if fixed > ps {
+		return nil, nil, nil
+	}
+	contPages := make([]int, nCont)
+	for i := 0; i < nCont; i++ {
+		contPages[i] = int(binary.LittleEndian.Uint32(buf[logHeaderBytes+4*i:]))
+	}
+	keyOff := logHeaderBytes + 4*nCont
+	key := string(buf[keyOff : keyOff+keyLen])
+	crcOff := keyOff + keyLen
+	wantCRC := binary.LittleEndian.Uint32(buf[crcOff:])
+	headFirst := crcOff + logCRCBytes
+	headRoom := ps - headFirst
+	if headRoom < 0 {
+		return nil, nil, nil
+	}
+
+	// Assemble the payload: tail of header page, then continuation pages.
+	payload := make([]byte, 0, payLen)
+	take := payLen
+	if take > headRoom {
+		take = headRoom
+	}
+	payload = append(payload, buf[headFirst:headFirst+take]...)
+	for _, cp := range contPages {
+		if len(payload) >= payLen {
+			break
+		}
+		if cp < l.v.geo.LogStart || cp >= l.v.geo.LogStart+l.v.geo.LogPages {
+			return nil, nil, nil
+		}
+		cbuf, err := l.v.disk.ReadPage(cp, simdisk.IOMeta)
+		if err != nil {
+			return nil, nil, err
+		}
+		take := payLen - len(payload)
+		if take > ps {
+			take = ps
+		}
+		payload = append(payload, cbuf[:take]...)
+	}
+	if len(payload) != payLen {
+		return nil, nil, nil
+	}
+	crc := crc32.ChecksumIEEE(append([]byte(key), payload...))
+	if crc != wantCRC {
+		return nil, nil, nil
+	}
+	return &Record{Key: key, Kind: kind, Payload: append([]byte(nil), payload...)},
+		append([]int{page}, contPages...), nil
+}
+
+// pagesNeeded computes header + continuation page count for a record.
+func (l *LogStore) pagesNeeded(keyLen, payLen int) (int, error) {
+	ps := l.v.geo.PageSize
+	// Iterate: more continuation pointers shrink header room.
+	for nCont := 0; nCont <= l.v.geo.LogPages; nCont++ {
+		headRoom := ps - (logHeaderBytes + 4*nCont + keyLen + logCRCBytes)
+		if headRoom < 0 {
+			return 0, ErrLogTooBig
+		}
+		rest := payLen - headRoom
+		need := 0
+		if rest > 0 {
+			need = (rest + ps - 1) / ps
+		}
+		if need <= nCont {
+			return 1 + nCont, nil
+		}
+	}
+	return 0, ErrLogTooBig
+}
+
+// Put stores (or overwrites) the record under key.  Every page of the
+// record is written synchronously and charged to the kind's I/O class.
+// In-place overwrite of a same-size record reuses the same pages, so a
+// status-marker flip is exactly one write.
+func (l *LogStore) Put(key string, kind LogKind, payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.v.st.Add(stats.Instructions, costmodel.InstrLogRecord)
+
+	need, err := l.pagesNeeded(len(key), len(payload))
+	if err != nil {
+		return err
+	}
+
+	// Reuse the existing slot when the page count matches; otherwise
+	// free it and allocate fresh.
+	pages := l.slots[key]
+	fresh := pages == nil
+	if len(pages) != need {
+		if pages != nil {
+			l.free = append(l.free, pages...)
+			sort.Ints(l.free)
+			delete(l.slots, key)
+		}
+		if len(l.free) < need {
+			return fmt.Errorf("%w: need %d pages, %d free", ErrLogFull, need, len(l.free))
+		}
+		pages = append([]int(nil), l.free[:need]...)
+		l.free = l.free[need:]
+		fresh = true
+	}
+
+	ps := l.v.geo.PageSize
+	nCont := need - 1
+	head := make([]byte, ps)
+	binary.LittleEndian.PutUint32(head[0:], logMagic)
+	binary.LittleEndian.PutUint32(head[4:], uint32(kind))
+	binary.LittleEndian.PutUint32(head[8:], uint32(len(key)))
+	binary.LittleEndian.PutUint32(head[12:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(head[16:], uint32(nCont))
+	for i := 0; i < nCont; i++ {
+		binary.LittleEndian.PutUint32(head[logHeaderBytes+4*i:], uint32(pages[1+i]))
+	}
+	keyOff := logHeaderBytes + 4*nCont
+	copy(head[keyOff:], key)
+	crcOff := keyOff + len(key)
+	crc := crc32.ChecksumIEEE(append([]byte(key), payload...))
+	binary.LittleEndian.PutUint32(head[crcOff:], crc)
+	headFirst := crcOff + logCRCBytes
+	n := copy(head[headFirst:], payload)
+
+	// Write continuation pages first so a crash mid-Put leaves either
+	// the old header (old record intact) or, for a new key, no valid
+	// header at all.
+	rest := payload[n:]
+	for i := 0; i < nCont; i++ {
+		cbuf := make([]byte, ps)
+		m := copy(cbuf, rest)
+		rest = rest[m:]
+		if err := l.v.disk.WritePage(pages[1+i], cbuf, kind.ioKind(), true); err != nil {
+			return err
+		}
+	}
+	if err := l.v.disk.WritePage(pages[0], head, kind.ioKind(), true); err != nil {
+		return err
+	}
+	// Footnote 9: the 1985 implementation paid an extra I/O per log
+	// append, for the log's own inode.  Only appends that grow the log
+	// (fresh slots) touch the log inode; the in-place status-marker flip
+	// stays a single write in both modes.
+	if l.v.DoubleLogWrite && fresh {
+		l.v.st.Inc(stats.DiskWrites)
+		l.v.st.Inc(stats.InodeWrites)
+	}
+	l.slots[key] = pages
+	return nil
+}
+
+// Get returns the record stored under key.
+func (l *LogStore) Get(key string) (*Record, error) {
+	l.mu.Lock()
+	pages := l.slots[key]
+	l.mu.Unlock()
+	if pages == nil {
+		return nil, fmt.Errorf("%w: %q", ErrLogNotFound, key)
+	}
+	rec, _, err := l.readHeader(pages[0])
+	if err != nil {
+		return nil, err
+	}
+	if rec == nil {
+		return nil, fmt.Errorf("%w: %q", ErrLogCorrupt, key)
+	}
+	return rec, nil
+}
+
+// Delete removes the record under key, zeroing its header page.
+// Coordinator logs are deleted only after all commit or abort processing
+// has completed (section 4.4).  Deleting a missing key is a no-op.
+func (l *LogStore) Delete(key string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	pages := l.slots[key]
+	if pages == nil {
+		return nil
+	}
+	zero := make([]byte, l.v.geo.PageSize)
+	if err := l.v.disk.WritePage(pages[0], zero, simdisk.IOMeta, true); err != nil {
+		return err
+	}
+	delete(l.slots, key)
+	l.free = append(l.free, pages...)
+	sort.Ints(l.free)
+	return nil
+}
+
+// Records returns every stored record, sorted by key.  Recovery iterates
+// this after Load.
+func (l *LogStore) Records() ([]*Record, error) {
+	l.mu.Lock()
+	keys := make([]string, 0, len(l.slots))
+	for k := range l.slots {
+		keys = append(keys, k)
+	}
+	l.mu.Unlock()
+	sort.Strings(keys)
+	out := make([]*Record, 0, len(keys))
+	for _, k := range keys {
+		rec, err := l.Get(k)
+		if err != nil {
+			if errors.Is(err, ErrLogNotFound) {
+				continue
+			}
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// Keys returns the stored keys, sorted.
+func (l *LogStore) Keys() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	keys := make([]string, 0, len(l.slots))
+	for k := range l.slots {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

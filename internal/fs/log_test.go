@@ -1,0 +1,243 @@
+package fs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simdisk"
+	"repro/internal/stats"
+)
+
+func logVolume(t *testing.T, pageSize, logPages int) *Volume {
+	t.Helper()
+	st := stats.NewSet()
+	d := simdisk.New("d0", 16+logPages+16, pageSize, st)
+	v, err := Format("vol0", d, Options{NumInodes: 4, LogPages: logPages})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestLogPutGetDelete(t *testing.T) {
+	v := logVolume(t, 1024, 8)
+	l := v.Log()
+	if err := l.Put("tx1", KindCoordinator, []byte("status=unknown")); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := l.Get("tx1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Kind != KindCoordinator || string(rec.Payload) != "status=unknown" {
+		t.Fatalf("rec = %+v", rec)
+	}
+	if err := l.Delete("tx1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Get("tx1"); !errors.Is(err, ErrLogNotFound) {
+		t.Fatalf("get after delete: %v", err)
+	}
+	// Deleting a missing key is a no-op.
+	if err := l.Delete("tx1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogOverwriteInPlaceIsOneIO(t *testing.T) {
+	// The commit point of section 4.2: flipping the coordinator log's
+	// status marker is a single synchronous write.
+	v := logVolume(t, 1024, 8)
+	l := v.Log()
+	if err := l.Put("tx1", KindCoordinator, []byte("status=unknown.....")); err != nil {
+		t.Fatal(err)
+	}
+	before := v.Stats().Snapshot()
+	if err := l.Put("tx1", KindCoordinator, []byte("status=committed...")); err != nil {
+		t.Fatal(err)
+	}
+	d := v.Stats().Snapshot().Sub(before)
+	if d.Get(stats.DiskWrites) != 1 || d.Get(stats.CoordLogWrites) != 1 {
+		t.Fatalf("status flip cost %v, want exactly 1 coordinator log write", d)
+	}
+	rec, _ := l.Get("tx1")
+	if string(rec.Payload) != "status=committed..." {
+		t.Fatalf("payload = %q", rec.Payload)
+	}
+}
+
+func TestLogDoubleWriteMode(t *testing.T) {
+	// Footnote 9: the 1985 implementation needed two I/Os per log append
+	// (log data page + log inode).
+	v := logVolume(t, 1024, 8)
+	v.DoubleLogWrite = true
+	before := v.Stats().Snapshot()
+	if err := v.Log().Put("tx1", KindPrepare, []byte("il")); err != nil {
+		t.Fatal(err)
+	}
+	d := v.Stats().Snapshot().Sub(before)
+	if d.Get(stats.DiskWrites) != 2 {
+		t.Fatalf("double-write mode cost %d writes, want 2", d.Get(stats.DiskWrites))
+	}
+	if d.Get(stats.PrepareLogWrites) != 1 || d.Get(stats.InodeWrites) != 1 {
+		t.Fatalf("breakdown %v", d)
+	}
+}
+
+func TestLogMultiPageRecord(t *testing.T) {
+	v := logVolume(t, 256, 8)
+	l := v.Log()
+	payload := bytes.Repeat([]byte{0xCD}, 600) // needs 1 header + 3 continuation pages at 256B
+	before := v.Stats().Snapshot()
+	if err := l.Put("big", KindPrepare, payload); err != nil {
+		t.Fatal(err)
+	}
+	writes := v.Stats().Snapshot().Sub(before).Get(stats.PrepareLogWrites)
+	if writes < 3 || writes > 4 {
+		t.Fatalf("multi-page record cost %d log writes", writes)
+	}
+	rec, err := l.Get("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rec.Payload, payload) {
+		t.Fatal("multi-page payload mismatch")
+	}
+}
+
+func TestLogFullAndTooBig(t *testing.T) {
+	v := logVolume(t, 256, 4)
+	l := v.Log()
+	for i := 0; ; i++ {
+		err := l.Put(fmt.Sprintf("k%d", i), KindPrepare, []byte("x"))
+		if err != nil {
+			if !errors.Is(err, ErrLogFull) {
+				t.Fatalf("fill: %v", err)
+			}
+			break
+		}
+		if i > 10 {
+			t.Fatal("log never filled")
+		}
+	}
+	// Record larger than the whole area.
+	v2 := logVolume(t, 256, 4)
+	if err := v2.Log().Put("huge", KindPrepare, make([]byte, 256*16)); !errors.Is(err, ErrLogTooBig) {
+		t.Fatalf("oversize: %v", err)
+	}
+}
+
+func TestLogSurvivesCrashAndReload(t *testing.T) {
+	st := stats.NewSet()
+	d := simdisk.New("d0", 64, 512, st)
+	v, err := Format("vol0", d, Options{NumInodes: 4, LogPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := v.Log()
+	if err := l.Put("tx1", KindCoordinator, []byte("committed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Put("tx1.prep", KindPrepare, bytes.Repeat([]byte{7}, 900)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Put("tx2", KindCoordinator, []byte("unknown")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Delete("tx2"); err != nil {
+		t.Fatal(err)
+	}
+
+	d.Crash()
+	d.Restart()
+	v2, err := Load("vol0", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2 := v2.Log()
+	keys := l2.Keys()
+	if len(keys) != 2 || keys[0] != "tx1" || keys[1] != "tx1.prep" {
+		t.Fatalf("keys after reload = %v", keys)
+	}
+	rec, err := l2.Get("tx1")
+	if err != nil || string(rec.Payload) != "committed" {
+		t.Fatalf("tx1 after reload = %+v, %v", rec, err)
+	}
+	prep, err := l2.Get("tx1.prep")
+	if err != nil || !bytes.Equal(prep.Payload, bytes.Repeat([]byte{7}, 900)) {
+		t.Fatalf("tx1.prep after reload: %v", err)
+	}
+	if prep.Kind != KindPrepare {
+		t.Fatalf("kind = %v", prep.Kind)
+	}
+	// Free-slot accounting survives: we can still fill the rest.
+	if err := l2.Put("tx3", KindCoordinator, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogRecordsSorted(t *testing.T) {
+	v := logVolume(t, 512, 8)
+	l := v.Log()
+	for _, k := range []string{"zeta", "alpha", "mid"} {
+		if err := l.Put(k, KindCoordinator, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := l.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[0].Key != "alpha" || recs[1].Key != "mid" || recs[2].Key != "zeta" {
+		t.Fatalf("records = %v", recs)
+	}
+}
+
+func TestLogKindString(t *testing.T) {
+	if KindCoordinator.String() != "coordinator" || KindPrepare.String() != "prepare" {
+		t.Fatal("kind names")
+	}
+	if LogKind(9).String() != "logkind(9)" {
+		t.Fatal("unknown kind")
+	}
+}
+
+// Property: Put/Get round-trips arbitrary keys and payloads, across a
+// crash-reload cycle.
+func TestLogRoundTripProperty(t *testing.T) {
+	f := func(key []byte, payload []byte) bool {
+		if len(key) == 0 || len(key) > 64 {
+			return true // skip silly keys
+		}
+		if len(payload) > 2048 {
+			payload = payload[:2048]
+		}
+		st := stats.NewSet()
+		d := simdisk.New("q", 48, 512, st)
+		v, err := Format("q", d, Options{NumInodes: 2, LogPages: 12})
+		if err != nil {
+			return false
+		}
+		k := string(key)
+		if err := v.Log().Put(k, KindPrepare, payload); err != nil {
+			return false
+		}
+		d.Crash()
+		d.Restart()
+		v2, err := Load("q", d)
+		if err != nil {
+			return false
+		}
+		rec, err := v2.Log().Get(k)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(rec.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

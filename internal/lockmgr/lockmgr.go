@@ -1,0 +1,648 @@
+// Package lockmgr implements the record-level (byte-range) locking of
+// sections 3 and 5.1: the Figure 1 compatibility rules, enforced (not
+// advisory) locks, retained locks under two-phase locking, explicit
+// non-transaction locks, lock queueing, append-mode lock-and-extend, and
+// the wait-for edge export that the user-level deadlock detector consumes
+// (the kernel itself does not detect deadlock, per section 3.1).
+//
+// Lock descriptors live in a per-file lock list at the file's storage
+// site (Figure 3).  Conflicts are judged between lock groups: all
+// processes of one transaction form a single group (children inherit
+// access, section 3.1), and each non-transaction process is its own
+// group.
+//
+// Retention rules (section 3.3):
+//
+//  1. a lock obtained by a transaction is retained until the transaction
+//     commits or aborts - Unlock only marks it retained, and it keeps
+//     excluding other groups;
+//  2. adoption of modified-but-uncommitted records is coordinated by the
+//     transaction layer (internal/core), which converts the relevant
+//     locks to transactional ones here and transfers record ownership in
+//     the shadow layer.
+//
+// Section 3.4's escape hatches are honored: a lock requested with NonTxn
+// follows Figure 1 but is exempt from retention even when requested by a
+// transaction.
+package lockmgr
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/stats"
+)
+
+// Mode is a lock mode.  ModeShared and ModeExclusive are requestable;
+// Unix access (no lock) is checked via CheckAccess.
+type Mode int
+
+// Lock modes, ordered by strength.
+const (
+	ModeNone Mode = iota
+	ModeShared
+	ModeExclusive
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeNone:
+		return "none"
+	case ModeShared:
+		return "shared"
+	case ModeExclusive:
+		return "exclusive"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Errors returned by locking operations.
+var (
+	// ErrConflict is the queue-or-fail "fail": the request conflicts and
+	// the caller asked not to wait.
+	ErrConflict = errors.New("lockmgr: lock conflict")
+	// ErrAccessDenied reports an unlocked (Unix-mode) access blocked by
+	// an enforced lock, per Figure 1.
+	ErrAccessDenied = errors.New("lockmgr: access denied by enforced lock")
+	// ErrCancelled reports a queued request cancelled (typically because
+	// its transaction was chosen as a deadlock victim).
+	ErrCancelled = errors.New("lockmgr: queued lock request cancelled")
+	// ErrTimeout reports a queued request that outlived its deadline.
+	ErrTimeout = errors.New("lockmgr: lock wait timed out")
+	// ErrBadRange reports a non-positive length or negative offset.
+	ErrBadRange = errors.New("lockmgr: bad byte range")
+)
+
+// Holder identifies the requesting process and, when it executes within a
+// transaction, the transaction (the lock descriptor fields of Figure 3).
+type Holder struct {
+	PID int
+	Txn string // transaction identifier; empty outside transactions
+}
+
+// Group returns the conflict group: the transaction when there is one
+// (all member processes share locks), else the process itself.
+func (h Holder) Group() string {
+	if h.Txn != "" {
+		return "txn:" + h.Txn
+	}
+	return fmt.Sprintf("pid:%d", h.PID)
+}
+
+// IsTxn reports whether the holder executes within a transaction.
+func (h Holder) IsTxn() bool { return h.Txn != "" }
+
+// span is a half-open byte range [lo, hi).
+type span struct{ lo, hi int64 }
+
+func (s span) overlaps(o span) bool { return s.lo < o.hi && o.lo < s.hi }
+
+// entry is one lock descriptor in the file's lock list.
+type entry struct {
+	holder   Holder
+	group    string
+	mode     Mode
+	s        span
+	retained bool // unlocked by its transaction but held until commit/abort
+	nonTxn   bool // section 3.4 non-transaction lock: exempt from retention
+}
+
+// Request describes one locking request (the Lock(file,length,mode) call
+// of section 3.2, plus the queueing/append options).
+type Request struct {
+	Holder Holder
+	Mode   Mode  // ModeShared or ModeExclusive
+	Off    int64 // ignored when AtEOF
+	Len    int64
+	// AtEOF locks (and logically extends) the range starting at the
+	// current end of file, computed atomically at grant time - the
+	// shared-log append of section 3.2 that avoids livelock.
+	AtEOF bool
+	// NonTxn requests a non-transaction lock (section 3.4): Figure 1
+	// rules apply but the two-phase retention does not.
+	NonTxn bool
+	// Wait queues the request instead of failing on conflict.
+	Wait bool
+	// Timeout bounds the queue wait; zero means wait indefinitely.
+	Timeout time.Duration
+}
+
+// Result reports a granted lock.  Off is the actual locked offset, which
+// differs from the request for AtEOF locks.
+type Result struct {
+	Off int64
+	Len int64
+}
+
+// EntryInfo is an introspection copy of one lock descriptor.
+type EntryInfo struct {
+	Holder   Holder
+	Mode     Mode
+	Off, Len int64
+	Retained bool
+	NonTxn   bool
+}
+
+// WaitEdge is one edge of the wait-for graph: Waiter's group is blocked
+// by Holder's group on FileID.
+type WaitEdge struct {
+	Waiter string
+	Holder string
+	FileID string
+}
+
+// waiter is a queued request.
+type waiter struct {
+	req  Request
+	done chan grant
+}
+
+type grant struct {
+	res Result
+	err error
+}
+
+// FileLocks is the lock list of one file at its storage site.
+type FileLocks struct {
+	id     string
+	sizeFn func() int64 // current working file size, for AtEOF
+	st     *stats.Set
+
+	mu      sync.Mutex
+	entries []*entry
+	queue   []*waiter
+}
+
+// NewFileLocks creates a lock list for the file.  sizeFn supplies the
+// current (working) size for append-mode locks; nil means size 0.
+func NewFileLocks(id string, sizeFn func() int64, st *stats.Set) *FileLocks {
+	if sizeFn == nil {
+		sizeFn = func() int64 { return 0 }
+	}
+	return &FileLocks{id: id, sizeFn: sizeFn, st: st}
+}
+
+// ID returns the file's identifier.
+func (fl *FileLocks) ID() string { return fl.id }
+
+// conflicting returns the groups whose entries block the request over s.
+// A process's own pre-transaction locks never block it: section 3.4 lets
+// resources locked before BeginTrans be used within the transaction
+// (without joining it).  Caller holds fl.mu.
+func (fl *FileLocks) conflicting(h Holder, mode Mode, s span) []string {
+	group := h.Group()
+	var out []string
+	seen := map[string]bool{}
+	for _, e := range fl.entries {
+		fl.st.Add(stats.Instructions, costmodel.InstrLockListScanEntry)
+		if e.group == group || !e.s.overlaps(s) {
+			continue
+		}
+		if h.IsTxn() && e.holder.PID == h.PID && e.holder.Txn == "" {
+			continue // the requester's own pre-transaction lock
+		}
+		if mode == ModeExclusive || e.mode == ModeExclusive {
+			if !seen[e.group] {
+				seen[e.group] = true
+				out = append(out, e.group)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// replaceOwn installs the group's coverage over s at the given mode,
+// absorbing its own overlapping entries of equal or weaker mode.
+// Transactional coverage never weakens: entries a transaction already
+// holds at a stronger mode survive untouched (two-phase locking forbids
+// early release; the paper's retention rule 1), so a "downgrade" request
+// leaves the stronger lock in place where it was held.  Non-transaction
+// processes (and NonTxn-mode locks) may truly downgrade.  Caller holds
+// fl.mu.
+func (fl *FileLocks) replaceOwn(h Holder, group string, mode Mode, s span, nonTxn bool) {
+	var kept []*entry
+	for _, e := range fl.entries {
+		if e.group != group || !e.s.overlaps(s) {
+			kept = append(kept, e)
+			continue
+		}
+		if h.IsTxn() && !e.nonTxn && e.mode > mode {
+			// Keep the stronger transactional entry whole; the new
+			// (weaker) entry below overlaps it harmlessly.
+			kept = append(kept, e)
+			continue
+		}
+		// Keep the non-overlapping fragments.
+		if e.s.lo < s.lo {
+			left := *e
+			left.s = span{e.s.lo, s.lo}
+			kept = append(kept, &left)
+		}
+		if e.s.hi > s.hi {
+			right := *e
+			right.s = span{s.hi, e.s.hi}
+			kept = append(kept, &right)
+		}
+	}
+	kept = append(kept, &entry{holder: h, group: group, mode: mode, s: s, nonTxn: nonTxn})
+	fl.entries = kept
+}
+
+// Lock processes one lock request at the storage site.  On conflict it
+// either fails with ErrConflict (carrying the blocking groups in its
+// message) or queues per Request.Wait.
+func (fl *FileLocks) Lock(req Request) (Result, error) {
+	if req.Len <= 0 || (!req.AtEOF && req.Off < 0) {
+		return Result{}, fmt.Errorf("%w: off=%d len=%d", ErrBadRange, req.Off, req.Len)
+	}
+	if req.Mode != ModeShared && req.Mode != ModeExclusive {
+		return Result{}, fmt.Errorf("lockmgr: unsupported lock mode %v", req.Mode)
+	}
+	fl.mu.Lock()
+	fl.st.Add(stats.Instructions, costmodel.InstrLockRequest)
+
+	if res, ok := fl.tryGrantLocked(req); ok {
+		fl.mu.Unlock()
+		fl.st.Inc(stats.LockAcquires)
+		return res, nil
+	}
+	if !req.Wait {
+		fl.mu.Unlock()
+		fl.st.Inc(stats.LockDenials)
+		groups := fl.blockingGroups(req)
+		return Result{}, fmt.Errorf("%w: %s held by %s", ErrConflict, fl.id, strings.Join(groups, ","))
+	}
+	// Queue and wait.
+	w := &waiter{req: req, done: make(chan grant, 1)}
+	fl.queue = append(fl.queue, w)
+	fl.st.Inc(stats.LockWaits)
+	fl.mu.Unlock()
+
+	var timeout <-chan time.Time
+	if req.Timeout > 0 {
+		t := time.NewTimer(req.Timeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case g := <-w.done:
+		if g.err == nil {
+			fl.st.Inc(stats.LockAcquires)
+		}
+		return g.res, g.err
+	case <-timeout:
+		fl.removeWaiter(w)
+		// A grant may have raced the timeout.
+		select {
+		case g := <-w.done:
+			if g.err == nil {
+				fl.st.Inc(stats.LockAcquires)
+			}
+			return g.res, g.err
+		default:
+		}
+		return Result{}, fmt.Errorf("%w: %s", ErrTimeout, fl.id)
+	}
+}
+
+// blockingGroups recomputes the groups blocking req (for error text).
+func (fl *FileLocks) blockingGroups(req Request) []string {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	s := fl.requestSpan(req)
+	return fl.conflicting(req.Holder, req.Mode, s)
+}
+
+// requestSpan resolves AtEOF at this instant.  Caller holds fl.mu.
+func (fl *FileLocks) requestSpan(req Request) span {
+	if req.AtEOF {
+		off := fl.sizeFn()
+		return span{off, off + req.Len}
+	}
+	return span{req.Off, req.Off + req.Len}
+}
+
+// tryGrantLocked grants req if compatible, returning the granted range.
+// Caller holds fl.mu.
+func (fl *FileLocks) tryGrantLocked(req Request) (Result, bool) {
+	group := req.Holder.Group()
+	s := fl.requestSpan(req)
+	if len(fl.conflicting(req.Holder, req.Mode, s)) > 0 {
+		return Result{}, false
+	}
+	fl.replaceOwn(req.Holder, group, req.Mode, s, req.NonTxn)
+	return Result{Off: s.lo, Len: req.Len}, true
+}
+
+// removeWaiter unlinks a waiter from the queue.
+func (fl *FileLocks) removeWaiter(w *waiter) {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	for i, q := range fl.queue {
+		if q == w {
+			fl.queue = append(fl.queue[:i], fl.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// pumpQueueLocked grants queued requests that have become compatible, in
+// FIFO order.  Caller holds fl.mu.
+func (fl *FileLocks) pumpQueueLocked() {
+	var still []*waiter
+	for _, w := range fl.queue {
+		if res, ok := fl.tryGrantLocked(w.req); ok {
+			w.done <- grant{res: res}
+		} else {
+			still = append(still, w)
+		}
+	}
+	fl.queue = still
+}
+
+// Unlock releases the holder's coverage of [off, off+length).  For a
+// transaction's (non-NonTxn) locks the descriptors are retained: they
+// stop being "actively held" only in the sense that the transaction may
+// reacquire them; other groups remain excluded until commit or abort
+// (section 3.3 rule 1).  It reports whether anything was retained.
+func (fl *FileLocks) Unlock(h Holder, off, length int64) (retained bool, err error) {
+	if length <= 0 || off < 0 {
+		return false, fmt.Errorf("%w: off=%d len=%d", ErrBadRange, off, length)
+	}
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	fl.st.Add(stats.Instructions, costmodel.InstrLockRelease)
+	fl.st.Inc(stats.LockReleases)
+	group := h.Group()
+	s := span{off, off + length}
+	var kept []*entry
+	for _, e := range fl.entries {
+		if e.group != group || !e.s.overlaps(s) {
+			kept = append(kept, e)
+			continue
+		}
+		if h.IsTxn() && !e.nonTxn {
+			// Rule 1: retain.
+			e.retained = true
+			retained = true
+			kept = append(kept, e)
+			continue
+		}
+		// Non-transaction (or NonTxn-mode) locks really release.
+		if e.s.lo < s.lo {
+			left := *e
+			left.s = span{e.s.lo, s.lo}
+			kept = append(kept, &left)
+		}
+		if e.s.hi > s.hi {
+			right := *e
+			right.s = span{s.hi, e.s.hi}
+			kept = append(kept, &right)
+		}
+	}
+	fl.entries = kept
+	fl.pumpQueueLocked()
+	return retained, nil
+}
+
+// ReleaseGroup removes every descriptor of the group (transaction commit
+// or abort, or process exit for non-transaction groups) and re-pumps the
+// queue.
+func (fl *FileLocks) ReleaseGroup(group string) {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	var kept []*entry
+	removed := 0
+	for _, e := range fl.entries {
+		if e.group == group {
+			removed++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	fl.entries = kept
+	if removed > 0 {
+		fl.st.Add(stats.LockReleases, int64(removed))
+	}
+	fl.pumpQueueLocked()
+}
+
+// CancelWaiters fails every queued request of the group with
+// ErrCancelled (deadlock victim treatment).
+func (fl *FileLocks) CancelWaiters(group string) {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	var still []*waiter
+	for _, w := range fl.queue {
+		if w.req.Holder.Group() == group {
+			w.done <- grant{err: fmt.Errorf("%w: %s on %s", ErrCancelled, group, fl.id)}
+			continue
+		}
+		still = append(still, w)
+	}
+	fl.queue = still
+}
+
+// ForceTransactional converts the group's NonTxn descriptors overlapping
+// the range into ordinary transactional (retained) ones.  The transaction
+// layer calls this when rule 2 of section 3.3 fires: a lock over a
+// modified-but-uncommitted record must be retained regardless of how it
+// was requested.
+func (fl *FileLocks) ForceTransactional(group string, off, length int64) {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	s := span{off, off + length}
+	for _, e := range fl.entries {
+		if e.group == group && e.s.overlaps(s) {
+			e.nonTxn = false
+		}
+	}
+}
+
+// CheckAccess validates an unlocked (Unix-mode) access per Figure 1:
+// reads are blocked by other groups' exclusive locks; writes by other
+// groups' shared or exclusive locks.  The holder's own group's locks
+// never block it.
+func (fl *FileLocks) CheckAccess(h Holder, write bool, off, length int64) error {
+	if length <= 0 {
+		return nil
+	}
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	group := h.Group()
+	s := span{off, off + length}
+	for _, e := range fl.entries {
+		fl.st.Add(stats.Instructions, costmodel.InstrLockListScanEntry)
+		if e.group == group || !e.s.overlaps(s) {
+			continue
+		}
+		if e.mode == ModeExclusive || (write && e.mode == ModeShared) {
+			return fmt.Errorf("%w: %s [%d,%d) %v by %s", ErrAccessDenied,
+				fl.id, e.s.lo, e.s.hi, e.mode, e.group)
+		}
+	}
+	return nil
+}
+
+// Covers reports whether the holder's group holds locks of at least the
+// given mode covering every byte of [off, off+length).
+func (fl *FileLocks) Covers(h Holder, mode Mode, off, length int64) bool {
+	if length <= 0 {
+		return false
+	}
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	group := h.Group()
+	var spans []span
+	for _, e := range fl.entries {
+		if e.group == group && e.mode >= mode {
+			spans = append(spans, e.s)
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+	need := off
+	for _, s := range spans {
+		if s.hi <= need {
+			continue
+		}
+		if s.lo > need {
+			return false
+		}
+		need = s.hi
+		if need >= off+length {
+			return true
+		}
+	}
+	return need >= off+length
+}
+
+// Entries returns a copy of the lock list, sorted by offset then group.
+func (fl *FileLocks) Entries() []EntryInfo {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	out := make([]EntryInfo, 0, len(fl.entries))
+	for _, e := range fl.entries {
+		out = append(out, EntryInfo{
+			Holder: e.holder, Mode: e.mode,
+			Off: e.s.lo, Len: e.s.hi - e.s.lo,
+			Retained: e.retained, NonTxn: e.nonTxn,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Off != out[j].Off {
+			return out[i].Off < out[j].Off
+		}
+		return out[i].Holder.Group() < out[j].Holder.Group()
+	})
+	return out
+}
+
+// WaitEdges returns the current wait-for edges at this file: for every
+// queued request, one edge per blocking group.  This is the operating
+// system data interface of section 3.1 that lets a system process build
+// the global wait-for graph.
+func (fl *FileLocks) WaitEdges() []WaitEdge {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	var out []WaitEdge
+	for _, w := range fl.queue {
+		s := fl.requestSpan(w.req)
+		for _, g := range fl.conflicting(w.req.Holder, w.req.Mode, s) {
+			out = append(out, WaitEdge{Waiter: w.req.Holder.Group(), Holder: g, FileID: fl.id})
+		}
+	}
+	return out
+}
+
+// QueueLength returns the number of queued requests.
+func (fl *FileLocks) QueueLength() int {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	return len(fl.queue)
+}
+
+// Manager is a storage site's collection of per-file lock lists.
+type Manager struct {
+	st *stats.Set
+
+	mu    sync.Mutex
+	files map[string]*FileLocks
+}
+
+// NewManager creates an empty lock manager.
+func NewManager(st *stats.Set) *Manager {
+	return &Manager{st: st, files: make(map[string]*FileLocks)}
+}
+
+// File returns (creating if needed) the lock list for the file.  sizeFn
+// is installed only on creation.
+func (m *Manager) File(id string, sizeFn func() int64) *FileLocks {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fl, ok := m.files[id]
+	if !ok {
+		fl = NewFileLocks(id, sizeFn, m.st)
+		m.files[id] = fl
+	}
+	return fl
+}
+
+// Lookup returns the lock list for the file, or nil.
+func (m *Manager) Lookup(id string) *FileLocks {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.files[id]
+}
+
+// Drop removes a file's lock list (file closed everywhere).
+func (m *Manager) Drop(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.files, id)
+}
+
+// ReleaseGroup releases the group's locks on every file and cancels its
+// queued requests.
+func (m *Manager) ReleaseGroup(group string) {
+	m.mu.Lock()
+	files := make([]*FileLocks, 0, len(m.files))
+	for _, fl := range m.files {
+		files = append(files, fl)
+	}
+	m.mu.Unlock()
+	for _, fl := range files {
+		fl.CancelWaiters(group)
+		fl.ReleaseGroup(group)
+	}
+}
+
+// WaitEdges aggregates the wait-for edges across all files at this site.
+func (m *Manager) WaitEdges() []WaitEdge {
+	m.mu.Lock()
+	files := make([]*FileLocks, 0, len(m.files))
+	for _, fl := range m.files {
+		files = append(files, fl)
+	}
+	m.mu.Unlock()
+	var out []WaitEdge
+	for _, fl := range files {
+		out = append(out, fl.WaitEdges()...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Waiter != out[j].Waiter {
+			return out[i].Waiter < out[j].Waiter
+		}
+		if out[i].Holder != out[j].Holder {
+			return out[i].Holder < out[j].Holder
+		}
+		return out[i].FileID < out[j].FileID
+	})
+	return out
+}

@@ -1,0 +1,278 @@
+// Package simdisk provides a page-addressed simulated disk with
+// crash-faithful write semantics and per-class I/O accounting.
+//
+// The paper's evaluation counts synchronous disk writes per transaction
+// (Figure 5) and distinguishes data page writes, prepare log writes,
+// coordinator log writes, and the phase-two inode write.  Disk exposes
+// exactly that: every write is tagged with an IOKind that feeds the
+// matching stats counter, and a Crash discards everything that was written
+// asynchronously but never flushed, so recovery code is exercised against
+// realistic post-crash images.
+//
+// A Disk is safe for concurrent use.
+package simdisk
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// IOKind classifies a disk transfer for accounting (Figure 5 regenerates
+// its per-step breakdown from these classes).
+type IOKind int
+
+const (
+	// IOData is an ordinary file data page (shadow pages included).
+	IOData IOKind = iota
+	// IOInode is a file descriptor block: the atomic pointer-replacement
+	// write that commits a file (step 5 in Figure 5).
+	IOInode
+	// IOCoordLog is a transaction coordinator log record (steps 1 and 4).
+	IOCoordLog
+	// IOPrepareLog is a participant prepare log record (step 3).
+	IOPrepareLog
+	// IOWAL is a baseline write-ahead log record (internal/wal).
+	IOWAL
+	// IOMeta is filesystem metadata (superblock, allocation bitmap).
+	IOMeta
+)
+
+var ioKindNames = map[IOKind]string{
+	IOData:       "data",
+	IOInode:      "inode",
+	IOCoordLog:   "coordlog",
+	IOPrepareLog: "preparelog",
+	IOWAL:        "wal",
+	IOMeta:       "meta",
+}
+
+// String returns a short name for the kind.
+func (k IOKind) String() string {
+	if s, ok := ioKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("iokind(%d)", int(k))
+}
+
+// writeCounter maps an IOKind to its dedicated stats counter (in addition
+// to the aggregate DiskWrites counter).
+func (k IOKind) writeCounter() (stats.Counter, bool) {
+	switch k {
+	case IOInode:
+		return stats.InodeWrites, true
+	case IOCoordLog:
+		return stats.CoordLogWrites, true
+	case IOPrepareLog:
+		return stats.PrepareLogWrites, true
+	case IOData:
+		return stats.DataPageWrites, true
+	case IOWAL:
+		return stats.WALWrites, true
+	}
+	return 0, false
+}
+
+// Errors returned by Disk operations.
+var (
+	// ErrCrashed is returned while the disk is crashed (between Crash and
+	// Restart).
+	ErrCrashed = errors.New("simdisk: disk is crashed")
+	// ErrOutOfRange is returned for page numbers outside the disk.
+	ErrOutOfRange = errors.New("simdisk: page number out of range")
+	// ErrBadSize is returned when a write's length differs from the page
+	// size.
+	ErrBadSize = errors.New("simdisk: data length != page size")
+)
+
+// Disk is a fixed-size array of pages with stable (flushed) and volatile
+// (written but unflushed) versions.  Synchronous writes reach stable
+// storage immediately; asynchronous writes sit in the volatile layer until
+// Flush or FlushPage, and are lost by Crash.
+type Disk struct {
+	name     string
+	pageSize int
+
+	mu       sync.Mutex
+	stable   [][]byte       // committed page images; nil = never written
+	volatile map[int][]byte // async writes not yet flushed
+	crashed  bool
+
+	st *stats.Set
+}
+
+// New creates a disk with numPages pages of pageSize bytes each, charging
+// I/O events to st (which may be nil).
+func New(name string, numPages, pageSize int, st *stats.Set) *Disk {
+	if numPages <= 0 || pageSize <= 0 {
+		panic("simdisk: non-positive geometry")
+	}
+	return &Disk{
+		name:     name,
+		pageSize: pageSize,
+		stable:   make([][]byte, numPages),
+		volatile: make(map[int][]byte),
+		st:       st,
+	}
+}
+
+// Name returns the disk's name.
+func (d *Disk) Name() string { return d.name }
+
+// PageSize returns the size of one page in bytes.
+func (d *Disk) PageSize() int { return d.pageSize }
+
+// NumPages returns the number of pages on the disk.
+func (d *Disk) NumPages() int { return len(d.stable) }
+
+// Stats returns the counter set the disk charges to (possibly nil).
+func (d *Disk) Stats() *stats.Set { return d.st }
+
+func (d *Disk) check(page int) error {
+	if d.crashed {
+		return ErrCrashed
+	}
+	if page < 0 || page >= len(d.stable) {
+		return fmt.Errorf("%w: page %d of %d on %s", ErrOutOfRange, page, len(d.stable), d.name)
+	}
+	return nil
+}
+
+// ReadPage returns a copy of the current contents of the page: the volatile
+// version if one exists, else the stable version, else a zero page.  The
+// read is charged as one disk read of the given kind.
+func (d *Disk) ReadPage(page int, kind IOKind) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.check(page); err != nil {
+		return nil, err
+	}
+	d.st.Inc(stats.DiskReads)
+	buf := make([]byte, d.pageSize)
+	if v, ok := d.volatile[page]; ok {
+		copy(buf, v)
+	} else if s := d.stable[page]; s != nil {
+		copy(buf, s)
+	}
+	return buf, nil
+}
+
+// ReadStable returns a copy of the last flushed (stable) version of the
+// page, ignoring any unflushed volatile write.  The record commit
+// mechanism uses this to fetch the "previous version" of a page for
+// differencing (Figure 4(b)).
+func (d *Disk) ReadStable(page int, kind IOKind) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.check(page); err != nil {
+		return nil, err
+	}
+	d.st.Inc(stats.DiskReads)
+	buf := make([]byte, d.pageSize)
+	if s := d.stable[page]; s != nil {
+		copy(buf, s)
+	}
+	return buf, nil
+}
+
+// WritePage writes data to the page.  If sync is true the write reaches
+// stable storage immediately and is charged as one disk write; otherwise
+// it lands in the volatile layer and the disk write is charged when it is
+// flushed.
+func (d *Disk) WritePage(page int, data []byte, kind IOKind, sync bool) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.check(page); err != nil {
+		return err
+	}
+	if len(data) != d.pageSize {
+		return fmt.Errorf("%w: got %d want %d on %s page %d", ErrBadSize, len(data), d.pageSize, d.name, page)
+	}
+	buf := make([]byte, d.pageSize)
+	copy(buf, data)
+	if sync {
+		d.stable[page] = buf
+		delete(d.volatile, page)
+		d.chargeWrite(kind)
+	} else {
+		d.volatile[page] = buf
+	}
+	return nil
+}
+
+// chargeWrite must be called with d.mu held.
+func (d *Disk) chargeWrite(kind IOKind) {
+	d.st.Inc(stats.DiskWrites)
+	if c, ok := kind.writeCounter(); ok {
+		d.st.Inc(c)
+	}
+}
+
+// FlushPage forces the page's volatile version (if any) to stable storage,
+// charging one disk write of the given kind.  Flushing a clean page is a
+// no-op and charges nothing.
+func (d *Disk) FlushPage(page int, kind IOKind) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.check(page); err != nil {
+		return err
+	}
+	if v, ok := d.volatile[page]; ok {
+		d.stable[page] = v
+		delete(d.volatile, page)
+		d.chargeWrite(kind)
+	}
+	return nil
+}
+
+// Flush forces every volatile page to stable storage, charging one data
+// write per dirty page.  It returns the number of pages written.
+func (d *Disk) Flush() (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return 0, ErrCrashed
+	}
+	n := 0
+	for page, v := range d.volatile {
+		d.stable[page] = v
+		delete(d.volatile, page)
+		d.chargeWrite(IOData)
+		n++
+	}
+	return n, nil
+}
+
+// DirtyPages returns the number of volatile (unflushed) pages.
+func (d *Disk) DirtyPages() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.volatile)
+}
+
+// Crash discards all volatile writes and takes the disk offline until
+// Restart.  Stable contents survive, exactly as a power failure would
+// leave a real disk with a write-through cache.
+func (d *Disk) Crash() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.volatile = make(map[int][]byte)
+	d.crashed = true
+}
+
+// Restart brings a crashed disk back online.  Restarting a healthy disk is
+// a no-op.
+func (d *Disk) Restart() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.crashed = false
+}
+
+// Crashed reports whether the disk is currently offline.
+func (d *Disk) Crashed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.crashed
+}

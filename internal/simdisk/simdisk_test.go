@@ -1,0 +1,277 @@
+package simdisk
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func page(d *Disk, fill byte) []byte {
+	b := make([]byte, d.PageSize())
+	for i := range b {
+		b[i] = fill
+	}
+	return b
+}
+
+func TestReadBackSyncWrite(t *testing.T) {
+	st := stats.NewSet()
+	d := New("d0", 16, 1024, st)
+	want := page(d, 0xAB)
+	if err := d.WritePage(3, want, IOData, true); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ReadPage(3, IOData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("read back != written")
+	}
+	if st.Get(stats.DiskWrites) != 1 || st.Get(stats.DataPageWrites) != 1 {
+		t.Fatalf("write accounting: %v", st.Snapshot())
+	}
+	if st.Get(stats.DiskReads) != 1 {
+		t.Fatalf("read accounting: %v", st.Snapshot())
+	}
+}
+
+func TestUnwrittenPageReadsZero(t *testing.T) {
+	d := New("d0", 4, 512, nil)
+	got, err := d.ReadPage(0, IOData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, 512)) {
+		t.Fatal("fresh page not zero")
+	}
+}
+
+func TestAsyncWriteCrashLoses(t *testing.T) {
+	d := New("d0", 8, 256, nil)
+	stable := page(d, 1)
+	if err := d.WritePage(2, stable, IOData, true); err != nil {
+		t.Fatal(err)
+	}
+	volatile := page(d, 2)
+	if err := d.WritePage(2, volatile, IOData, false); err != nil {
+		t.Fatal(err)
+	}
+	// Before the crash, reads see the volatile version.
+	got, err := d.ReadPage(2, IOData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, volatile) {
+		t.Fatal("read did not see volatile write")
+	}
+	d.Crash()
+	if !d.Crashed() {
+		t.Fatal("Crashed() = false after Crash")
+	}
+	if _, err := d.ReadPage(2, IOData); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("read on crashed disk: err = %v", err)
+	}
+	d.Restart()
+	got, err = d.ReadPage(2, IOData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, stable) {
+		t.Fatal("crash did not discard volatile write")
+	}
+}
+
+func TestFlushPageSurvivesCrash(t *testing.T) {
+	st := stats.NewSet()
+	d := New("d0", 8, 256, st)
+	v := page(d, 7)
+	if err := d.WritePage(5, v, IOData, false); err != nil {
+		t.Fatal(err)
+	}
+	if st.Get(stats.DiskWrites) != 0 {
+		t.Fatal("async write charged an I/O before flush")
+	}
+	if err := d.FlushPage(5, IOData); err != nil {
+		t.Fatal(err)
+	}
+	if st.Get(stats.DiskWrites) != 1 {
+		t.Fatalf("flush charged %d writes, want 1", st.Get(stats.DiskWrites))
+	}
+	// Flushing a clean page charges nothing.
+	if err := d.FlushPage(5, IOData); err != nil {
+		t.Fatal(err)
+	}
+	if st.Get(stats.DiskWrites) != 1 {
+		t.Fatal("clean flush charged an I/O")
+	}
+	d.Crash()
+	d.Restart()
+	got, err := d.ReadPage(5, IOData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, v) {
+		t.Fatal("flushed page lost by crash")
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	d := New("d0", 8, 128, nil)
+	for i := 0; i < 3; i++ {
+		if err := d.WritePage(i, page(d, byte(i+1)), IOData, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.DirtyPages() != 3 {
+		t.Fatalf("DirtyPages = %d, want 3", d.DirtyPages())
+	}
+	n, err := d.Flush()
+	if err != nil || n != 3 {
+		t.Fatalf("Flush = %d, %v; want 3, nil", n, err)
+	}
+	if d.DirtyPages() != 0 {
+		t.Fatal("dirty pages remain after Flush")
+	}
+}
+
+func TestReadStableIgnoresVolatile(t *testing.T) {
+	d := New("d0", 8, 128, nil)
+	old := page(d, 0x11)
+	if err := d.WritePage(0, old, IOData, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WritePage(0, page(d, 0x22), IOData, false); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ReadStable(0, IOData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, old) {
+		t.Fatal("ReadStable returned volatile contents")
+	}
+}
+
+func TestIOKindAccounting(t *testing.T) {
+	st := stats.NewSet()
+	d := New("d0", 16, 64, st)
+	kinds := []struct {
+		kind IOKind
+		ctr  stats.Counter
+	}{
+		{IOInode, stats.InodeWrites},
+		{IOCoordLog, stats.CoordLogWrites},
+		{IOPrepareLog, stats.PrepareLogWrites},
+		{IOData, stats.DataPageWrites},
+		{IOWAL, stats.WALWrites},
+	}
+	for i, k := range kinds {
+		if err := d.WritePage(i, page(d, 1), k.kind, true); err != nil {
+			t.Fatal(err)
+		}
+		if st.Get(k.ctr) != 1 {
+			t.Fatalf("kind %v: counter %v = %d, want 1", k.kind, k.ctr, st.Get(k.ctr))
+		}
+	}
+	// IOMeta counts only the aggregate.
+	if err := d.WritePage(9, page(d, 1), IOMeta, true); err != nil {
+		t.Fatal(err)
+	}
+	if st.Get(stats.DiskWrites) != int64(len(kinds))+1 {
+		t.Fatalf("aggregate DiskWrites = %d", st.Get(stats.DiskWrites))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	d := New("d0", 4, 128, nil)
+	if _, err := d.ReadPage(4, IOData); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("read page 4: %v", err)
+	}
+	if _, err := d.ReadPage(-1, IOData); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("read page -1: %v", err)
+	}
+	if err := d.WritePage(0, make([]byte, 127), IOData, true); !errors.Is(err, ErrBadSize) {
+		t.Fatalf("short write: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with zero pages did not panic")
+		}
+	}()
+	New("bad", 0, 128, nil)
+}
+
+func TestWriteIsolatedFromCallerBuffer(t *testing.T) {
+	d := New("d0", 4, 8, nil)
+	buf := page(d, 5)
+	if err := d.WritePage(0, buf, IOData, true); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 99 // mutate after write; disk must hold its own copy
+	got, err := d.ReadPage(0, IOData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 5 {
+		t.Fatal("disk aliased caller buffer")
+	}
+	got[1] = 77 // mutate returned buffer; disk must be unaffected
+	again, err := d.ReadPage(0, IOData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[1] != 5 {
+		t.Fatal("read returned aliased buffer")
+	}
+}
+
+// Property: for any sequence of sync writes, the last write to each page
+// wins, and a crash+restart preserves exactly the sync-written state.
+func TestLastWriteWinsProperty(t *testing.T) {
+	const pages = 8
+	f := func(writes []struct {
+		Page uint8
+		Fill byte
+	}) bool {
+		d := New("p", pages, 16, nil)
+		want := map[int]byte{}
+		for _, w := range writes {
+			p := int(w.Page) % pages
+			b := make([]byte, 16)
+			for i := range b {
+				b[i] = w.Fill
+			}
+			if err := d.WritePage(p, b, IOData, true); err != nil {
+				return false
+			}
+			want[p] = w.Fill
+		}
+		d.Crash()
+		d.Restart()
+		for p, fill := range want {
+			got, err := d.ReadPage(p, IOData)
+			if err != nil || got[0] != fill {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIOKindString(t *testing.T) {
+	for _, k := range []IOKind{IOData, IOInode, IOCoordLog, IOPrepareLog, IOWAL, IOMeta} {
+		if k.String() == "" {
+			t.Fatalf("kind %d has empty name", int(k))
+		}
+	}
+	if IOKind(99).String() != "iokind(99)" {
+		t.Fatal("unknown kind String")
+	}
+}

@@ -1,0 +1,495 @@
+// Package simnet is the lightweight kernel-to-kernel message layer of the
+// Locus reproduction.
+//
+// Locus relied on special-purpose lightweight network protocols rather
+// than a general transport; remote operations in the paper cost roughly
+// one small-message round trip (~16-18 ms on the 1985 testbed).  simnet
+// models exactly that: named request/response operations between site
+// kernels, with configurable one-way latency, probabilistic message loss,
+// site crashes, and network partitions.  Topology changes (a site crash or
+// partition) are announced to watchers, which is how the transaction
+// mechanism learns it must abort transactions that span a lost site
+// (section 4.3).
+//
+// Payloads are passed by value in-process; anything placed in a message
+// must be treated as immutable by both sides.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/stats"
+)
+
+// SiteID names a network site (a machine running a Locus kernel).
+type SiteID int
+
+// String renders the site as "siteN".
+func (s SiteID) String() string { return fmt.Sprintf("site%d", int(s)) }
+
+// Handler processes one inbound request and returns a response or error.
+// Handlers run concurrently; shared state must be synchronized.
+type Handler func(from SiteID, req any) (any, error)
+
+// Errors returned by message operations.
+var (
+	ErrUnknownSite = errors.New("simnet: unknown site")
+	ErrUnreachable = errors.New("simnet: site unreachable")
+	ErrTimeout     = errors.New("simnet: request timed out")
+	ErrNoHandler   = errors.New("simnet: no handler for operation")
+	ErrNetClosed   = errors.New("simnet: network closed")
+)
+
+// RemoteError wraps an error returned by a remote handler so the caller
+// can distinguish transport failures from application failures.  The
+// original error is preserved (messages travel in-process), so errors.Is
+// and errors.As see through the network boundary, mirroring how Locus
+// returned typed failure codes in its lightweight protocol.
+type RemoteError struct {
+	Op   string
+	Site SiteID
+	Err  error
+}
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("simnet: remote %s at %s: %v", e.Op, e.Site, e.Err)
+}
+
+// Unwrap exposes the remote handler's error to errors.Is/As.
+func (e *RemoteError) Unwrap() error { return e.Err }
+
+// TopologyEventKind classifies a topology change.
+type TopologyEventKind int
+
+// Topology change kinds.
+const (
+	SiteDown TopologyEventKind = iota
+	SiteUp
+	Partitioned
+	Healed
+)
+
+// String names the event kind.
+func (k TopologyEventKind) String() string {
+	switch k {
+	case SiteDown:
+		return "site-down"
+	case SiteUp:
+		return "site-up"
+	case Partitioned:
+		return "partitioned"
+	case Healed:
+		return "healed"
+	}
+	return fmt.Sprintf("topology(%d)", int(k))
+}
+
+// TopologyEvent describes a change in network topology.
+type TopologyEvent struct {
+	Kind  TopologyEventKind
+	Sites []SiteID // sites affected (down/up) or in the minority side
+}
+
+// Sizer may be implemented by payloads to report their wire size; payloads
+// without it are charged smallMsgBytes.
+type Sizer interface {
+	WireSize() int
+}
+
+const smallMsgBytes = 64
+
+// Config controls network behaviour.  The zero value gives a reliable
+// zero-latency network, which keeps unit tests deterministic.
+type Config struct {
+	// Latency is the one-way transit delay applied to every message.
+	Latency time.Duration
+	// DropRate is the probability in [0,1) that any single message is
+	// silently lost.
+	DropRate float64
+	// CallTimeout bounds how long a Call waits for a response.  Zero
+	// means a generous default (2s real time).
+	CallTimeout time.Duration
+	// Seed seeds the drop generator; zero means a fixed default so runs
+	// are reproducible.
+	Seed int64
+}
+
+// Network connects a set of site endpoints.
+type Network struct {
+	st *stats.Set
+
+	mu       sync.Mutex
+	cfg      Config
+	rng      *rand.Rand
+	sites    map[SiteID]*Endpoint
+	group    map[SiteID]int // partition group; all 0 when healed
+	watchers []func(TopologyEvent)
+	closed   bool
+}
+
+// New creates a network charging message events to st (may be nil).
+func New(cfg Config, st *stats.Set) *Network {
+	if cfg.CallTimeout == 0 {
+		cfg.CallTimeout = 2 * time.Second
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x10c5 // fixed default for reproducibility
+	}
+	return &Network{
+		st:    st,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(seed)),
+		sites: make(map[SiteID]*Endpoint),
+		group: make(map[SiteID]int),
+	}
+}
+
+// AddSite registers a site and returns its endpoint.  Adding an existing
+// site returns the existing endpoint.
+func (n *Network) AddSite(id SiteID) *Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if e, ok := n.sites[id]; ok {
+		return e
+	}
+	e := &Endpoint{id: id, net: n, up: true, handlers: make(map[string]Handler)}
+	n.sites[id] = e
+	n.group[id] = 0
+	return e
+}
+
+// Sites returns the registered site IDs in unspecified order.
+func (n *Network) Sites() []SiteID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ids := make([]SiteID, 0, len(n.sites))
+	for id := range n.sites {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// Endpoint returns the endpoint for a site, or nil if unknown.
+func (n *Network) Endpoint(id SiteID) *Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.sites[id]
+}
+
+// Watch registers a callback invoked (on its own goroutine) for every
+// topology change.
+func (n *Network) Watch(fn func(TopologyEvent)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.watchers = append(n.watchers, fn)
+}
+
+// notify must be called with n.mu held.
+func (n *Network) notify(ev TopologyEvent) {
+	for _, w := range n.watchers {
+		go w(ev)
+	}
+}
+
+// SetLatency changes the one-way message latency.
+func (n *Network) SetLatency(d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cfg.Latency = d
+}
+
+// SetDropRate changes the message loss probability.
+func (n *Network) SetDropRate(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cfg.DropRate = p
+}
+
+// CrashSite takes a site offline: its handlers stop running and messages
+// to it fail.  Watchers are notified with SiteDown.
+func (n *Network) CrashSite(id SiteID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	e := n.sites[id]
+	if e == nil || !e.up {
+		return
+	}
+	e.up = false
+	n.notify(TopologyEvent{Kind: SiteDown, Sites: []SiteID{id}})
+}
+
+// RestartSite brings a crashed site back online.  Watchers are notified
+// with SiteUp; higher layers run their recovery protocols in response.
+func (n *Network) RestartSite(id SiteID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	e := n.sites[id]
+	if e == nil || e.up {
+		return
+	}
+	e.up = true
+	n.notify(TopologyEvent{Kind: SiteUp, Sites: []SiteID{id}})
+}
+
+// SiteUp reports whether the site is online.
+func (n *Network) SiteUp(id SiteID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	e := n.sites[id]
+	return e != nil && e.up
+}
+
+// Partition splits the network so that the given sites form their own
+// partition; everyone else remains in the majority partition.  Messages
+// across the cut are dropped.  Watchers are notified with Partitioned.
+func (n *Network) Partition(minority ...SiteID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, id := range minority {
+		if _, ok := n.group[id]; ok {
+			n.group[id] = 1
+		}
+	}
+	n.notify(TopologyEvent{Kind: Partitioned, Sites: append([]SiteID(nil), minority...)})
+}
+
+// Heal removes all partitions.  Watchers are notified with Healed.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for id := range n.group {
+		n.group[id] = 0
+	}
+	n.notify(TopologyEvent{Kind: Healed})
+}
+
+// Reachable reports whether a message from a would currently reach b:
+// both sites up and in the same partition.
+func (n *Network) Reachable(a, b SiteID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.reachableLocked(a, b)
+}
+
+func (n *Network) reachableLocked(a, b SiteID) bool {
+	ea, eb := n.sites[a], n.sites[b]
+	if ea == nil || eb == nil || !ea.up || !eb.up {
+		return false
+	}
+	return n.group[a] == n.group[b]
+}
+
+// Close shuts the network down; subsequent calls fail with ErrNetClosed.
+func (n *Network) Close() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.closed = true
+}
+
+// payloadSize estimates the wire size of a payload.
+func payloadSize(p any) int {
+	if s, ok := p.(Sizer); ok {
+		if n := s.WireSize(); n > 0 {
+			return n
+		}
+	}
+	return smallMsgBytes
+}
+
+// Endpoint is one site's attachment to the network.
+type Endpoint struct {
+	id  SiteID
+	net *Network
+
+	mu       sync.Mutex
+	up       bool
+	handlers map[string]Handler
+}
+
+// ID returns the endpoint's site ID.
+func (e *Endpoint) ID() SiteID { return e.id }
+
+// Handle registers the handler for an operation name, replacing any
+// previous handler.
+func (e *Endpoint) Handle(op string, h Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.handlers[op] = h
+}
+
+// handler returns the handler for op if the endpoint is up.
+func (e *Endpoint) handler(op string) (Handler, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.up {
+		return nil, ErrUnreachable
+	}
+	h, ok := e.handlers[op]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q at %s", ErrNoHandler, op, e.id)
+	}
+	return h, nil
+}
+
+type callResult struct {
+	resp any
+	err  error
+}
+
+// Call performs a synchronous request/response exchange with the remote
+// site: one lightweight message each way.  It fails with ErrUnreachable if
+// the destination is down or partitioned away, ErrTimeout if a message was
+// lost, and *RemoteError if the remote handler returned an error.
+//
+// Calling a site's own endpoint is allowed and models a local kernel
+// operation: the handler runs directly with no messages charged.
+func (e *Endpoint) Call(to SiteID, op string, req any) (any, error) {
+	n := e.net
+
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, ErrNetClosed
+	}
+	if to == e.id {
+		// Local operation: no network involved.
+		n.mu.Unlock()
+		h, err := e.handler(op)
+		if err != nil {
+			return nil, err
+		}
+		return h(e.id, req)
+	}
+	dst, ok := n.sites[to]
+	if !ok {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrUnknownSite, to)
+	}
+	if !n.reachableLocked(e.id, to) {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s -> %s (%s)", ErrUnreachable, e.id, to, op)
+	}
+	latency := n.cfg.Latency
+	timeout := n.cfg.CallTimeout
+	dropReq := n.rng.Float64() < n.cfg.DropRate
+	dropResp := n.rng.Float64() < n.cfg.DropRate
+	n.mu.Unlock()
+
+	n.st.Inc(stats.RPCs)
+	n.st.Inc(stats.MsgsSent)
+	n.st.Add(stats.BytesSent, int64(payloadSize(req)))
+	n.st.Add(stats.Instructions, costmodel.InstrMsgHandling)
+
+	done := make(chan callResult, 1)
+	go func() {
+		if latency > 0 {
+			time.Sleep(latency)
+		}
+		if dropReq {
+			return // request lost; caller times out
+		}
+		// Re-check reachability at delivery time: a partition or crash
+		// that happened in flight loses the message.
+		if !n.Reachable(e.id, to) {
+			return
+		}
+		h, err := dst.handler(op)
+		if err != nil {
+			done <- callResult{nil, err}
+			return
+		}
+		n.st.Add(stats.Instructions, costmodel.InstrMsgHandling)
+		resp, herr := h(e.id, req)
+
+		// Response leg.
+		n.st.Inc(stats.MsgsSent)
+		n.st.Add(stats.BytesSent, int64(payloadSize(resp)))
+		n.st.Add(stats.Instructions, costmodel.InstrMsgHandling)
+		if latency > 0 {
+			time.Sleep(latency)
+		}
+		if dropResp || !n.Reachable(to, e.id) {
+			return
+		}
+		if herr != nil {
+			done <- callResult{nil, &RemoteError{Op: op, Site: to, Err: herr}}
+			return
+		}
+		done <- callResult{resp, nil}
+	}()
+
+	select {
+	case r := <-done:
+		return r.resp, r.err
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("%w: %s -> %s (%s)", ErrTimeout, e.id, to, op)
+	}
+}
+
+// CallRetry performs Call with up to attempts tries, retrying on timeouts
+// and unreachability.  Remote application errors are returned immediately.
+// Handlers invoked through CallRetry must therefore be idempotent - the
+// paper leans on temporally-unique transaction IDs for exactly this
+// (section 4.4: duplicate commit or abort messages are harmless).
+func (e *Endpoint) CallRetry(to SiteID, op string, req any, attempts int) (any, error) {
+	var err error
+	for i := 0; i < attempts; i++ {
+		var resp any
+		resp, err = e.Call(to, op, req)
+		if err == nil {
+			return resp, nil
+		}
+		var re *RemoteError
+		if errors.As(err, &re) {
+			return nil, err
+		}
+	}
+	return nil, err
+}
+
+// Send delivers a one-way message with no response and no delivery
+// confirmation.  It is used for the asynchronous phase-two commit
+// messages of section 4.2.
+func (e *Endpoint) Send(to SiteID, op string, req any) {
+	n := e.net
+
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	dst, ok := n.sites[to]
+	if !ok || !n.reachableLocked(e.id, to) {
+		n.mu.Unlock()
+		return
+	}
+	latency := n.cfg.Latency
+	drop := n.rng.Float64() < n.cfg.DropRate
+	n.mu.Unlock()
+
+	n.st.Inc(stats.MsgsSent)
+	n.st.Add(stats.BytesSent, int64(payloadSize(req)))
+	n.st.Add(stats.Instructions, costmodel.InstrMsgHandling)
+
+	go func() {
+		if latency > 0 {
+			time.Sleep(latency)
+		}
+		if drop || !n.Reachable(e.id, to) {
+			return
+		}
+		h, err := dst.handler(op)
+		if err != nil {
+			return
+		}
+		n.st.Add(stats.Instructions, costmodel.InstrMsgHandling)
+		h(e.id, req) //nolint:errcheck // one-way: result discarded
+	}()
+}

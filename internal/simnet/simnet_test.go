@@ -1,0 +1,348 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+func pairNet(t *testing.T, cfg Config, st *stats.Set) (*Network, *Endpoint, *Endpoint) {
+	t.Helper()
+	n := New(cfg, st)
+	a := n.AddSite(1)
+	b := n.AddSite(2)
+	return n, a, b
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	st := stats.NewSet()
+	_, a, b := pairNet(t, Config{}, st)
+	b.Handle("echo", func(from SiteID, req any) (any, error) {
+		if from != 1 {
+			t.Errorf("from = %v, want site1", from)
+		}
+		return "re:" + req.(string), nil
+	})
+	resp, err := a.Call(2, "echo", "hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp != "re:hello" {
+		t.Fatalf("resp = %v", resp)
+	}
+	if st.Get(stats.RPCs) != 1 {
+		t.Fatalf("RPCs = %d, want 1", st.Get(stats.RPCs))
+	}
+	if st.Get(stats.MsgsSent) != 2 {
+		t.Fatalf("MsgsSent = %d, want 2 (request+response)", st.Get(stats.MsgsSent))
+	}
+}
+
+func TestLocalCallSendsNoMessages(t *testing.T) {
+	st := stats.NewSet()
+	_, a, _ := pairNet(t, Config{}, st)
+	a.Handle("op", func(from SiteID, req any) (any, error) { return 42, nil })
+	resp, err := a.Call(1, "op", nil)
+	if err != nil || resp != 42 {
+		t.Fatalf("local call = %v, %v", resp, err)
+	}
+	if st.Get(stats.MsgsSent) != 0 {
+		t.Fatalf("local call sent %d messages", st.Get(stats.MsgsSent))
+	}
+}
+
+func TestRemoteHandlerError(t *testing.T) {
+	_, a, b := pairNet(t, Config{}, nil)
+	b.Handle("fail", func(from SiteID, req any) (any, error) {
+		return nil, errors.New("boom")
+	})
+	_, err := a.Call(2, "fail", nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want *RemoteError", err)
+	}
+	if re.Err == nil || re.Err.Error() != "boom" || re.Site != 2 || re.Op != "fail" {
+		t.Fatalf("remote error = %+v", re)
+	}
+}
+
+func TestUnknownSiteAndHandler(t *testing.T) {
+	_, a, _ := pairNet(t, Config{CallTimeout: 100 * time.Millisecond}, nil)
+	if _, err := a.Call(9, "x", nil); !errors.Is(err, ErrUnknownSite) {
+		t.Fatalf("unknown site err = %v", err)
+	}
+	// No handler registered on site 2: surfaces as a timeout-free error.
+	if _, err := a.Call(2, "nope", nil); !errors.Is(err, ErrNoHandler) {
+		t.Fatalf("no handler err = %v", err)
+	}
+}
+
+func TestCrashedSiteUnreachable(t *testing.T) {
+	n, a, b := pairNet(t, Config{CallTimeout: 100 * time.Millisecond}, nil)
+	b.Handle("op", func(SiteID, any) (any, error) { return nil, nil })
+	n.CrashSite(2)
+	if n.SiteUp(2) {
+		t.Fatal("SiteUp after crash")
+	}
+	if _, err := a.Call(2, "op", nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("call to crashed site: %v", err)
+	}
+	n.RestartSite(2)
+	if _, err := a.Call(2, "op", nil); err != nil {
+		t.Fatalf("call after restart: %v", err)
+	}
+}
+
+func TestPartitionBlocksAndHealRestores(t *testing.T) {
+	n, a, b := pairNet(t, Config{CallTimeout: 100 * time.Millisecond}, nil)
+	b.Handle("op", func(SiteID, any) (any, error) { return "ok", nil })
+	n.Partition(2)
+	if n.Reachable(1, 2) {
+		t.Fatal("Reachable across partition")
+	}
+	if _, err := a.Call(2, "op", nil); err == nil {
+		t.Fatal("call across partition succeeded")
+	}
+	// Sites inside the same partition can still talk.
+	if !n.Reachable(2, 2) {
+		t.Fatal("site unreachable from itself")
+	}
+	n.Heal()
+	if _, err := a.Call(2, "op", nil); err != nil {
+		t.Fatalf("call after heal: %v", err)
+	}
+}
+
+func TestTopologyWatch(t *testing.T) {
+	n, _, _ := pairNet(t, Config{}, nil)
+	events := make(chan TopologyEvent, 8)
+	n.Watch(func(ev TopologyEvent) { events <- ev })
+
+	n.CrashSite(2)
+	ev := <-events
+	if ev.Kind != SiteDown || len(ev.Sites) != 1 || ev.Sites[0] != 2 {
+		t.Fatalf("event = %+v", ev)
+	}
+	n.RestartSite(2)
+	if ev = <-events; ev.Kind != SiteUp {
+		t.Fatalf("event = %+v", ev)
+	}
+	n.Partition(1)
+	if ev = <-events; ev.Kind != Partitioned {
+		t.Fatalf("event = %+v", ev)
+	}
+	n.Heal()
+	if ev = <-events; ev.Kind != Healed {
+		t.Fatalf("event = %+v", ev)
+	}
+	// Double-crash emits no duplicate event.
+	n.CrashSite(2)
+	<-events
+	n.CrashSite(2)
+	select {
+	case ev := <-events:
+		t.Fatalf("duplicate crash event: %+v", ev)
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+func TestDropCausesTimeout(t *testing.T) {
+	n, a, b := pairNet(t, Config{DropRate: 1.0, CallTimeout: 50 * time.Millisecond}, nil)
+	b.Handle("op", func(SiteID, any) (any, error) { return nil, nil })
+	_ = n
+	if _, err := a.Call(2, "op", nil); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("dropped call err = %v", err)
+	}
+}
+
+func TestCallRetrySucceedsAfterLoss(t *testing.T) {
+	// 60% drop rate: with 20 attempts success is overwhelmingly likely.
+	n, a, b := pairNet(t, Config{DropRate: 0.6, CallTimeout: 30 * time.Millisecond, Seed: 42}, nil)
+	var calls atomic.Int64
+	b.Handle("op", func(SiteID, any) (any, error) {
+		calls.Add(1)
+		return "ok", nil
+	})
+	_ = n
+	resp, err := a.CallRetry(2, "op", nil, 20)
+	if err != nil {
+		t.Fatalf("CallRetry failed: %v", err)
+	}
+	if resp != "ok" {
+		t.Fatalf("resp = %v", resp)
+	}
+	if calls.Load() == 0 {
+		t.Fatal("handler never ran")
+	}
+}
+
+func TestCallRetryStopsOnRemoteError(t *testing.T) {
+	_, a, b := pairNet(t, Config{}, nil)
+	var calls atomic.Int64
+	b.Handle("op", func(SiteID, any) (any, error) {
+		calls.Add(1)
+		return nil, errors.New("app error")
+	})
+	_, err := a.CallRetry(2, "op", nil, 5)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("handler ran %d times, want 1 (no retry on app error)", calls.Load())
+	}
+}
+
+func TestSendOneWay(t *testing.T) {
+	_, a, b := pairNet(t, Config{}, nil)
+	got := make(chan any, 1)
+	b.Handle("notify", func(from SiteID, req any) (any, error) {
+		got <- req
+		return nil, nil
+	})
+	a.Send(2, "notify", "payload")
+	select {
+	case v := <-got:
+		if v != "payload" {
+			t.Fatalf("payload = %v", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("one-way message never delivered")
+	}
+	// Send to a crashed site is silently dropped (no panic, no delivery).
+	a.net.CrashSite(2)
+	a.Send(2, "notify", "lost")
+	select {
+	case v := <-got:
+		t.Fatalf("message delivered to crashed site: %v", v)
+	case <-time.After(30 * time.Millisecond):
+	}
+}
+
+func TestLatencyIsApplied(t *testing.T) {
+	_, a, b := pairNet(t, Config{Latency: 20 * time.Millisecond}, nil)
+	b.Handle("op", func(SiteID, any) (any, error) { return nil, nil })
+	start := time.Now()
+	if _, err := a.Call(2, "op", nil); err != nil {
+		t.Fatal(err)
+	}
+	if rtt := time.Since(start); rtt < 40*time.Millisecond {
+		t.Fatalf("RTT = %v, want >= 40ms (two 20ms legs)", rtt)
+	}
+}
+
+type sized struct{ n int }
+
+func (s sized) WireSize() int { return s.n }
+
+func TestPayloadSizing(t *testing.T) {
+	st := stats.NewSet()
+	_, a, b := pairNet(t, Config{}, st)
+	b.Handle("op", func(SiteID, any) (any, error) { return nil, nil })
+	if _, err := a.Call(2, "op", sized{1024}); err != nil {
+		t.Fatal(err)
+	}
+	// Request charged 1024, response (nil payload) charged the small
+	// message default.
+	want := int64(1024 + smallMsgBytes)
+	if got := st.Get(stats.BytesSent); got != want {
+		t.Fatalf("BytesSent = %d, want %d", got, want)
+	}
+}
+
+func TestClosedNetwork(t *testing.T) {
+	n, a, b := pairNet(t, Config{}, nil)
+	b.Handle("op", func(SiteID, any) (any, error) { return nil, nil })
+	n.Close()
+	if _, err := a.Call(2, "op", nil); !errors.Is(err, ErrNetClosed) {
+		t.Fatalf("call on closed net: %v", err)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	n := New(Config{}, nil)
+	const sites = 4
+	eps := make([]*Endpoint, sites)
+	for i := 0; i < sites; i++ {
+		eps[i] = n.AddSite(SiteID(i))
+	}
+	for i := 0; i < sites; i++ {
+		i := i
+		eps[i].Handle("ping", func(from SiteID, req any) (any, error) {
+			return fmt.Sprintf("%d->%d", from, i), nil
+		})
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, sites*sites*10)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < sites; i++ {
+			for j := 0; j < sites; j++ {
+				wg.Add(1)
+				go func(i, j int) {
+					defer wg.Done()
+					resp, err := eps[i].Call(SiteID(j), "ping", nil)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if want := fmt.Sprintf("%d->%d", i, j); resp != want {
+						errs <- fmt.Errorf("resp = %v, want %v", resp, want)
+					}
+				}(i, j)
+			}
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for _, k := range []TopologyEventKind{SiteDown, SiteUp, Partitioned, Healed} {
+		if k.String() == "" {
+			t.Fatal("empty kind name")
+		}
+	}
+	if TopologyEventKind(9).String() != "topology(9)" {
+		t.Fatal("unknown kind")
+	}
+	if SiteID(3).String() != "site3" {
+		t.Fatal("SiteID.String")
+	}
+}
+
+func TestPartitionWhileCallInFlight(t *testing.T) {
+	// A partition that lands while the request is in transit loses the
+	// message: the caller times out rather than receiving a response
+	// from across the cut.
+	n, a, b := pairNet(t, Config{Latency: 30 * time.Millisecond, CallTimeout: 200 * time.Millisecond}, nil)
+	b.Handle("op", func(SiteID, any) (any, error) { return "late", nil })
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Call(2, "op", nil)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // request is in flight
+	n.Partition(2)
+	if err := <-done; err == nil {
+		t.Fatal("call completed across an in-flight partition")
+	}
+	n.Heal()
+	if _, err := a.Call(2, "op", nil); err != nil {
+		t.Fatalf("after heal: %v", err)
+	}
+}
+
+func TestSendToUnknownAndClosed(t *testing.T) {
+	n, a, _ := pairNet(t, Config{}, nil)
+	a.Send(42, "op", nil) // unknown site: silently dropped
+	n.Close()
+	a.Send(2, "op", nil) // closed network: silently dropped
+}

@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet()
+	if got := s.Get(DiskWrites); got != 0 {
+		t.Fatalf("fresh set DiskWrites = %d, want 0", got)
+	}
+	s.Inc(DiskWrites)
+	s.Add(DiskWrites, 4)
+	if got := s.Get(DiskWrites); got != 5 {
+		t.Fatalf("DiskWrites = %d, want 5", got)
+	}
+	s.Add(Instructions, 750)
+	snap := s.Snapshot()
+	if snap.Get(Instructions) != 750 || snap.Get(DiskWrites) != 5 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	s.Reset()
+	if !s.Snapshot().IsZero() {
+		t.Fatalf("after Reset snapshot = %v, want zero", s.Snapshot())
+	}
+}
+
+func TestNilSetIsSafe(t *testing.T) {
+	var s *Set
+	s.Inc(DiskReads)
+	s.Add(Instructions, 10)
+	s.Reset()
+	if got := s.Get(DiskReads); got != 0 {
+		t.Fatalf("nil set Get = %d, want 0", got)
+	}
+	if !s.Snapshot().IsZero() {
+		t.Fatal("nil set snapshot not zero")
+	}
+}
+
+func TestSnapshotSubAdd(t *testing.T) {
+	s := NewSet()
+	s.Add(MsgsSent, 3)
+	before := s.Snapshot()
+	s.Add(MsgsSent, 7)
+	s.Inc(RPCs)
+	after := s.Snapshot()
+	d := after.Sub(before)
+	if d.Get(MsgsSent) != 7 || d.Get(RPCs) != 1 {
+		t.Fatalf("diff = %v", d)
+	}
+	sum := before.Add(d)
+	if sum != after {
+		t.Fatalf("before+diff = %v, want %v", sum, after)
+	}
+}
+
+func TestSnapshotScale(t *testing.T) {
+	s := NewSet()
+	s.Add(DiskWrites, 10)
+	s.Add(Instructions, 7)
+	sc := s.Snapshot().Scale(2)
+	if sc.Get(DiskWrites) != 5 {
+		t.Fatalf("scaled DiskWrites = %d, want 5", sc.Get(DiskWrites))
+	}
+	// 7/2 rounds to nearest = 4 (3.5 rounds up).
+	if sc.Get(Instructions) != 4 {
+		t.Fatalf("scaled Instructions = %d, want 4", sc.Get(Instructions))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Scale(0) did not panic")
+		}
+	}()
+	sc.Scale(0)
+}
+
+func TestSnapshotString(t *testing.T) {
+	var zero Snapshot
+	if got := zero.String(); got != "(no events)" {
+		t.Fatalf("zero snapshot String = %q", got)
+	}
+	s := NewSet()
+	s.Add(DiskWrites, 5)
+	s.Add(DiskReads, 2)
+	out := s.Snapshot().String()
+	if !strings.Contains(out, "disk_writes=5") || !strings.Contains(out, "disk_reads=2") {
+		t.Fatalf("String = %q", out)
+	}
+	// Sorted by name: disk_reads before disk_writes.
+	if strings.Index(out, "disk_reads") > strings.Index(out, "disk_writes") {
+		t.Fatalf("String not sorted: %q", out)
+	}
+}
+
+func TestCounterString(t *testing.T) {
+	for c := Counter(0); c < Counter(NumCounters()); c++ {
+		name := c.String()
+		if name == "" || strings.HasPrefix(name, "counter(") {
+			t.Fatalf("counter %d has no name", int(c))
+		}
+	}
+	if got := Counter(-1).String(); !strings.HasPrefix(got, "counter(") {
+		t.Fatalf("out-of-range counter String = %q", got)
+	}
+}
+
+func TestConcurrentCounting(t *testing.T) {
+	s := NewSet()
+	const workers, each = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				s.Inc(LockAcquires)
+				s.Add(Instructions, 3)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Get(LockAcquires); got != workers*each {
+		t.Fatalf("LockAcquires = %d, want %d", got, workers*each)
+	}
+	if got := s.Get(Instructions); got != workers*each*3 {
+		t.Fatalf("Instructions = %d, want %d", got, workers*each*3)
+	}
+}
+
+// Property: Sub and Add are inverses, and Sub(self) is zero.
+func TestSnapshotAlgebraProperty(t *testing.T) {
+	f := func(a, b Snapshot) bool {
+		if !a.Sub(a).IsZero() {
+			return false
+		}
+		return a.Sub(b).Add(b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+package tpc
+
+import (
+	"sort"
+
+	"repro/internal/fs"
+	"repro/internal/shadow"
+	"repro/internal/simnet"
+)
+
+// StatusQuery asks a (possibly remote) coordinator for a transaction's
+// outcome.  An error means the coordinator is unreachable and the
+// transaction stays in doubt.
+type StatusQuery func(coord simnet.SiteID, txid string) (Status, error)
+
+// RecoverResult summarizes a participant recovery pass.
+type RecoverResult struct {
+	Committed []string // transactions whose intentions were applied
+	Aborted   []string // transactions whose shadow pages were discarded
+	InDoubt   []string // transactions still awaiting the coordinator
+}
+
+// RecoverParticipant resolves the volume's surviving prepare records
+// after a crash (section 4.4).  The caller must have run PinPreparedPages
+// immediately after fs.Load.  For each record the coordinator is asked
+// for the outcome: committed transactions have their intentions lists
+// applied (idempotently), aborted ones are rolled back, and transactions
+// whose coordinator cannot be reached remain in doubt - their prepare
+// records stay, their pages stay pinned, and relock is invoked so the
+// retained locks keep excluding other users until a later pass resolves
+// them.
+func RecoverParticipant(v *fs.Volume, query StatusQuery, relock func(PrepareRecord)) (RecoverResult, error) {
+	var res RecoverResult
+	recs, err := ReadPrepareRecords(v)
+	if err != nil {
+		return res, err
+	}
+	// Group per-file (footnote 10) records of one transaction together.
+	byTxn := make(map[string][]PrepareRecord)
+	var order []string
+	for _, r := range recs {
+		if _, ok := byTxn[r.Txid]; !ok {
+			order = append(order, r.Txid)
+		}
+		byTxn[r.Txid] = append(byTxn[r.Txid], r)
+	}
+	sort.Strings(order)
+
+	for _, txid := range order {
+		group := byTxn[txid]
+		st, err := query(group[0].CoordSite, txid)
+		if err != nil {
+			res.InDoubt = append(res.InDoubt, txid)
+			if relock != nil {
+				for _, r := range group {
+					relock(r)
+				}
+			}
+			continue
+		}
+		switch st {
+		case StatusCommitted:
+			for _, r := range group {
+				for _, pf := range r.Files {
+					if err := shadow.ApplyIntentions(v, pf.Intentions); err != nil {
+						return res, err
+					}
+				}
+			}
+			if err := DeletePrepareRecords(v, txid); err != nil {
+				return res, err
+			}
+			res.Committed = append(res.Committed, txid)
+		default:
+			// Aborted, or unknown at the coordinator: failures before
+			// the commit point are treated as aborts.
+			for _, r := range group {
+				for _, pf := range r.Files {
+					if err := shadow.DiscardIntentions(v, pf.Intentions); err != nil {
+						return res, err
+					}
+				}
+			}
+			if err := DeletePrepareRecords(v, txid); err != nil {
+				return res, err
+			}
+			res.Aborted = append(res.Aborted, txid)
+		}
+	}
+	return res, nil
+}

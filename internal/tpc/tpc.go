@@ -1,0 +1,549 @@
+// Package tpc implements the distributed two-phase commit of sections
+// 4.2-4.4: the coordinator state machine, the three levels of logging
+// (coordinator log, per-volume prepare logs, and the per-file shadow
+// pages underneath), the abort paths, and crash recovery for both roles.
+//
+// The protocol, exactly as the paper lays it out:
+//
+//  1. the coordinator writes its log record - transaction id, the list of
+//     participating files with their storage sites, status "unknown";
+//  2. prepare messages go to every participant site; each flushes the
+//     transaction's modified records, writes its prepare log (intentions
+//     lists and lock lists), and replies prepared;
+//  3. on all replies the coordinator flips its log's status marker to
+//     "committed" in one write - the commit point;
+//  4. a kernel process asynchronously sends commit messages; participants
+//     run the single-file commit (one inode write per file), release the
+//     retained locks, and clear their prepare logs;
+//  5. the coordinator log is retained until every participant has
+//     acknowledged phase two, then deleted.
+//
+// Failures before a site prepares are treated as aborts.  Transaction
+// identifiers are temporally unique, so duplicated commit or abort
+// messages during recovery are harmless (section 4.4).
+//
+// The participant's file-level work (what "prepare this file" means) is
+// supplied by the embedding layer (internal/cluster) through small
+// interfaces; tpc owns the logs and the state machine.
+package tpc
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/fs"
+	"repro/internal/lockmgr"
+	"repro/internal/proc"
+	"repro/internal/shadow"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+)
+
+// Status is a transaction's outcome as recorded in the coordinator log.
+type Status int
+
+// Transaction statuses.
+const (
+	StatusUnknown Status = iota // logged, commit point not reached
+	StatusCommitted
+	StatusAborted
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusUnknown:
+		return "unknown"
+	case StatusCommitted:
+		return "committed"
+	case StatusAborted:
+		return "aborted"
+	}
+	return fmt.Sprintf("status(%d)", int(s))
+}
+
+// Errors returned by the commit machinery.
+var (
+	// ErrPrepareFailed aborts a commit because a participant could not
+	// prepare (unreachable, storage failure, or explicit refusal).
+	ErrPrepareFailed = errors.New("tpc: participant failed to prepare")
+	// ErrTxnExists rejects reusing a live transaction id.
+	ErrTxnExists = errors.New("tpc: transaction already in progress")
+	// ErrUnknownTxn reports an operation on a transaction the
+	// coordinator has no record of.
+	ErrUnknownTxn = errors.New("tpc: unknown transaction")
+)
+
+// LockInfo is one retained lock recorded in a prepare log so the lock can
+// be re-established if the participant crashes between prepare and phase
+// two (the record must stay protected until the outcome arrives).
+type LockInfo struct {
+	FileID string
+	Mode   lockmgr.Mode
+	Off    int64
+	Len    int64
+}
+
+// PreparedFile is one file's portion of a prepare log record.
+type PreparedFile struct {
+	FileID     string
+	Intentions shadow.IntentionsList
+}
+
+// PrepareRecord is a participant site's prepare log entry for one
+// transaction on one volume.
+type PrepareRecord struct {
+	Txid      string
+	CoordSite simnet.SiteID
+	Files     []PreparedFile
+	Locks     []LockInfo
+}
+
+// CoordRecord is the coordinator log entry: the file list with storage
+// sites and the status marker.
+type CoordRecord struct {
+	Txid   string
+	Files  []proc.FileRef
+	Status Status
+}
+
+// ---- log record encoding ----
+
+func encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func coordKey(txid string) string { return "coord:" + txid }
+
+// prepKey builds the prepare log key.  In the paper's intended design
+// there is one prepare record per transaction per volume; the footnote-10
+// "current implementation" writes one per file (see PerFilePrepare).
+func prepKey(txid, suffix string) string {
+	if suffix == "" {
+		return "prep:" + txid
+	}
+	return "prep:" + txid + ":" + suffix
+}
+
+// WriteCoordRecord writes (or overwrites) the coordinator log record.
+// Overwriting with an equal-size payload is a single I/O: the status
+// marker flip that defines the commit point.
+func WriteCoordRecord(v *fs.Volume, rec CoordRecord) error {
+	payload, err := encode(rec)
+	if err != nil {
+		return err
+	}
+	return v.Log().Put(coordKey(rec.Txid), fs.KindCoordinator, payload)
+}
+
+// ReadCoordRecords returns every coordinator record in the volume's log.
+func ReadCoordRecords(v *fs.Volume) ([]CoordRecord, error) {
+	recs, err := v.Log().Records()
+	if err != nil {
+		return nil, err
+	}
+	var out []CoordRecord
+	for _, r := range recs {
+		if r.Kind != fs.KindCoordinator {
+			continue
+		}
+		var cr CoordRecord
+		if err := gob.NewDecoder(bytes.NewReader(r.Payload)).Decode(&cr); err != nil {
+			return nil, fmt.Errorf("tpc: corrupt coordinator record %q: %v", r.Key, err)
+		}
+		out = append(out, cr)
+	}
+	return out, nil
+}
+
+// DeleteCoordRecord removes the coordinator log record once all commit or
+// abort processing has completed (section 4.4).
+func DeleteCoordRecord(v *fs.Volume, txid string) error {
+	return v.Log().Delete(coordKey(txid))
+}
+
+// WritePrepareRecord writes a participant's prepare log entry.  suffix
+// distinguishes per-file records in footnote-10 mode ("" otherwise).
+func WritePrepareRecord(v *fs.Volume, rec PrepareRecord, suffix string) error {
+	payload, err := encode(rec)
+	if err != nil {
+		return err
+	}
+	return v.Log().Put(prepKey(rec.Txid, suffix), fs.KindPrepare, payload)
+}
+
+// ReadPrepareRecords returns every prepare record in the volume's log.
+func ReadPrepareRecords(v *fs.Volume) ([]PrepareRecord, error) {
+	recs, err := v.Log().Records()
+	if err != nil {
+		return nil, err
+	}
+	var out []PrepareRecord
+	for _, r := range recs {
+		if r.Kind != fs.KindPrepare {
+			continue
+		}
+		var pr PrepareRecord
+		if err := gob.NewDecoder(bytes.NewReader(r.Payload)).Decode(&pr); err != nil {
+			return nil, fmt.Errorf("tpc: corrupt prepare record %q: %v", r.Key, err)
+		}
+		out = append(out, pr)
+	}
+	return out, nil
+}
+
+// DeletePrepareRecords removes every prepare record for txid (all
+// suffixes).
+func DeletePrepareRecords(v *fs.Volume, txid string) error {
+	for _, key := range v.Log().Keys() {
+		if key == prepKey(txid, "") ||
+			(len(key) > len("prep:"+txid) && key[:len("prep:"+txid)+1] == "prep:"+txid+":") {
+			if err := v.Log().Delete(key); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// PinPreparedPages re-reserves every shadow page named by the volume's
+// surviving prepare records.  It must run immediately after fs.Load,
+// before any page allocation, or recovery could hand prepared pages to
+// new writers.
+func PinPreparedPages(v *fs.Volume) error {
+	recs, err := ReadPrepareRecords(v)
+	if err != nil {
+		return err
+	}
+	for _, pr := range recs {
+		for _, pf := range pr.Files {
+			for _, ent := range pf.Intentions.Entries {
+				if !v.PageAllocated(ent.Shadow) {
+					if err := v.ReservePage(ent.Shadow); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ---- Coordinator ----
+
+// Transport carries the commit protocol messages to participant sites.
+// Implementations must be safe for concurrent use.  SendPrepare and
+// SendAbort are synchronous request/response exchanges; SendCommit is the
+// phase-two message and must return an error if the participant did not
+// acknowledge, so the coordinator can retry.
+type Transport interface {
+	SendPrepare(site simnet.SiteID, txid string, fileIDs []string, coord simnet.SiteID) error
+	SendCommit(site simnet.SiteID, txid string) error
+	SendAbort(site simnet.SiteID, txid string) error
+}
+
+// Config tunes the coordinator.
+type Config struct {
+	// SyncPhase2 makes CommitTransaction drive phase two before
+	// returning, instead of the paper's asynchronous kernel process.
+	// Deterministic tests and the I/O-counting benchmarks use this.
+	SyncPhase2 bool
+	// RetryInterval spaces automatic phase-two retries to unreachable
+	// participants.  Zero disables the timer; RetryPending still works.
+	RetryInterval time.Duration
+}
+
+// pendingTxn tracks a transaction past its commit/abort decision whose
+// phase two has not fully acknowledged.
+type pendingTxn struct {
+	rec     CoordRecord
+	unacked map[simnet.SiteID]bool
+}
+
+// Coordinator runs two-phase commit for transactions whose top-level
+// process resides at this site (section 4.2).
+type Coordinator struct {
+	site simnet.SiteID
+	vol  *fs.Volume // holds the coordinator log
+	tr   Transport
+	st   *stats.Set
+	cfg  Config
+
+	mu      sync.Mutex
+	pending map[string]*pendingTxn
+	done    map[string]Status // completed this incarnation (for StatusOf)
+}
+
+// NewCoordinator creates a coordinator logging to vol.
+func NewCoordinator(site simnet.SiteID, vol *fs.Volume, tr Transport, st *stats.Set, cfg Config) *Coordinator {
+	c := &Coordinator{
+		site: site, vol: vol, tr: tr, st: st, cfg: cfg,
+		pending: make(map[string]*pendingTxn),
+		done:    make(map[string]Status),
+	}
+	if cfg.RetryInterval > 0 {
+		go c.retryLoop()
+	}
+	return c
+}
+
+// participants groups the file list by storage site.
+func participants(files []proc.FileRef) map[simnet.SiteID][]string {
+	m := make(map[simnet.SiteID][]string)
+	for _, f := range files {
+		m[f.StorageSite] = append(m[f.StorageSite], f.FileID)
+	}
+	for _, ids := range m {
+		sort.Strings(ids)
+	}
+	return m
+}
+
+// CommitTransaction runs the full protocol for txid over the merged file
+// list.  It returns nil once the commit point is durable (or, with
+// SyncPhase2, once phase two has fully completed).  A prepare failure
+// aborts the transaction everywhere and returns ErrPrepareFailed.
+func (c *Coordinator) CommitTransaction(txid string, files []proc.FileRef) error {
+	c.mu.Lock()
+	if _, ok := c.pending[txid]; ok {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrTxnExists, txid)
+	}
+	rec := CoordRecord{Txid: txid, Files: append([]proc.FileRef(nil), files...), Status: StatusUnknown}
+	pt := &pendingTxn{rec: rec, unacked: make(map[simnet.SiteID]bool)}
+	c.pending[txid] = pt
+	c.mu.Unlock()
+
+	// Step 1: coordinator log, status unknown.
+	if err := WriteCoordRecord(c.vol, rec); err != nil {
+		c.forget(txid)
+		return err
+	}
+
+	// Step 2: prepare at every participant, in parallel.
+	parts := participants(files)
+	type prepResult struct {
+		site simnet.SiteID
+		err  error
+	}
+	results := make(chan prepResult, len(parts))
+	for site, ids := range parts {
+		go func(site simnet.SiteID, ids []string) {
+			results <- prepResult{site, c.tr.SendPrepare(site, txid, ids, c.site)}
+		}(site, ids)
+	}
+	var prepErr error
+	for range parts {
+		r := <-results
+		if r.err != nil && prepErr == nil {
+			prepErr = fmt.Errorf("%w: %s: %v", ErrPrepareFailed, r.site, r.err)
+		}
+	}
+	if prepErr != nil {
+		// Abort: flip the marker, tell everyone, clean up.
+		rec.Status = StatusAborted
+		if err := WriteCoordRecord(c.vol, rec); err != nil {
+			c.forget(txid)
+			return errors.Join(prepErr, err)
+		}
+		c.distributeOutcome(txid, parts, false)
+		c.finish(txid, StatusAborted)
+		c.st.Inc(stats.TxnAborts)
+		return prepErr
+	}
+
+	// Step 3: the commit point - one in-place status flip.
+	rec.Status = StatusCommitted
+	if err := WriteCoordRecord(c.vol, rec); err != nil {
+		// The outcome is undecided on disk; treat as abort.
+		c.distributeOutcome(txid, parts, false)
+		c.finish(txid, StatusAborted)
+		return err
+	}
+	c.mu.Lock()
+	pt.rec.Status = StatusCommitted
+	for site := range parts {
+		pt.unacked[site] = true
+	}
+	c.mu.Unlock()
+	c.st.Inc(stats.TxnCommits)
+
+	// Step 4: phase two.
+	if c.cfg.SyncPhase2 {
+		c.runPhase2(txid)
+	} else {
+		go c.runPhase2(txid)
+	}
+	return nil
+}
+
+// AbortTransaction distributes an abort decision for a transaction that
+// had not yet entered two-phase commit; per section 4.3 no coordinator
+// log is needed (failures before prepare are treated as aborts, and an
+// absent log reads as aborted to in-doubt queries).
+func (c *Coordinator) AbortTransaction(txid string, files []proc.FileRef) error {
+	parts := participants(files)
+	c.distributeOutcome(txid, parts, false)
+	c.mu.Lock()
+	c.done[txid] = StatusAborted
+	c.mu.Unlock()
+	c.st.Inc(stats.TxnAborts)
+	return nil
+}
+
+// distributeOutcome sends commit/abort messages to every participant,
+// best effort.
+func (c *Coordinator) distributeOutcome(txid string, parts map[simnet.SiteID][]string, commit bool) {
+	for site := range parts {
+		if commit {
+			c.tr.SendCommit(site, txid) //nolint:errcheck // retried by phase-2 machinery
+		} else {
+			c.tr.SendAbort(site, txid) //nolint:errcheck // duplicates are harmless; recovery re-sends
+		}
+	}
+}
+
+// runPhase2 drives commit messages until every participant acknowledges,
+// then releases the coordinator log.
+func (c *Coordinator) runPhase2(txid string) {
+	c.mu.Lock()
+	pt, ok := c.pending[txid]
+	if !ok {
+		c.mu.Unlock()
+		return
+	}
+	var sites []simnet.SiteID
+	for s := range pt.unacked {
+		sites = append(sites, s)
+	}
+	c.mu.Unlock()
+
+	for _, site := range sites {
+		if err := c.tr.SendCommit(site, txid); err == nil {
+			c.mu.Lock()
+			delete(pt.unacked, site)
+			c.mu.Unlock()
+		}
+	}
+
+	c.mu.Lock()
+	remaining := len(pt.unacked)
+	c.mu.Unlock()
+	if remaining == 0 {
+		c.finish(txid, StatusCommitted)
+	}
+}
+
+// finish deletes the coordinator log record and retires the transaction.
+func (c *Coordinator) finish(txid string, st Status) {
+	DeleteCoordRecord(c.vol, txid) //nolint:errcheck // stale records are re-resolved by Recover
+	c.mu.Lock()
+	delete(c.pending, txid)
+	c.done[txid] = st
+	c.mu.Unlock()
+}
+
+func (c *Coordinator) forget(txid string) {
+	c.mu.Lock()
+	delete(c.pending, txid)
+	c.mu.Unlock()
+}
+
+// RetryPending re-drives phase two for every committed transaction with
+// unacknowledged participants.  The retry timer calls this; tests and the
+// recovery path call it directly.
+func (c *Coordinator) RetryPending() {
+	c.mu.Lock()
+	var txids []string
+	for txid, pt := range c.pending {
+		if pt.rec.Status == StatusCommitted {
+			txids = append(txids, txid)
+		}
+	}
+	c.mu.Unlock()
+	for _, txid := range txids {
+		c.runPhase2(txid)
+	}
+}
+
+func (c *Coordinator) retryLoop() {
+	t := time.NewTicker(c.cfg.RetryInterval)
+	defer t.Stop()
+	for range t.C {
+		c.RetryPending()
+	}
+}
+
+// PendingCount returns the number of transactions awaiting full phase-two
+// acknowledgement.
+func (c *Coordinator) PendingCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// StatusOf answers a participant's in-doubt query (section 4.4).  The
+// order matters: live state, then the durable log, then presumed abort -
+// the log is only deleted after every participant acknowledged, so an
+// absent record means the transaction never committed.
+func (c *Coordinator) StatusOf(txid string) Status {
+	c.mu.Lock()
+	if pt, ok := c.pending[txid]; ok {
+		st := pt.rec.Status
+		c.mu.Unlock()
+		return st
+	}
+	if st, ok := c.done[txid]; ok {
+		c.mu.Unlock()
+		return st
+	}
+	c.mu.Unlock()
+	recs, err := ReadCoordRecords(c.vol)
+	if err == nil {
+		for _, r := range recs {
+			if r.Txid == txid {
+				return r.Status
+			}
+		}
+	}
+	return StatusAborted
+}
+
+// Recover replays the coordinator log after a crash (section 4.4): a
+// record with a commit mark re-enters phase two; anything else is queued
+// for abort processing.  Duplicate messages to participants are safe.
+func (c *Coordinator) Recover() error {
+	recs, err := ReadCoordRecords(c.vol)
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		parts := participants(rec.Files)
+		switch rec.Status {
+		case StatusCommitted:
+			c.mu.Lock()
+			pt := &pendingTxn{rec: rec, unacked: make(map[simnet.SiteID]bool)}
+			for s := range parts {
+				pt.unacked[s] = true
+			}
+			c.pending[rec.Txid] = pt
+			c.mu.Unlock()
+			c.runPhase2(rec.Txid)
+		default:
+			// Unknown (crashed before the commit point) or aborted:
+			// abort processing.
+			c.distributeOutcome(rec.Txid, parts, false)
+			c.finish(rec.Txid, StatusAborted)
+		}
+	}
+	return nil
+}

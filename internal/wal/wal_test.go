@@ -1,0 +1,296 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/fs"
+	"repro/internal/simdisk"
+	"repro/internal/stats"
+)
+
+const testPageSize = 256
+
+func newWAL(t *testing.T) (*fs.Volume, *Manager, *File) {
+	t.Helper()
+	st := stats.NewSet()
+	d := simdisk.New("d0", 128, testPageSize, st)
+	v, err := fs.Format("vol0", d, fs.Options{NumInodes: 4, LogPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(v, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ino, err := v.AllocInode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := OpenFile(m, ino)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, m, f
+}
+
+func TestWriteReadThroughBuffer(t *testing.T) {
+	_, _, f := newWAL(t)
+	data := []byte("buffered update")
+	if _, err := f.WriteAt("txn:1", data, 5); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := f.ReadAt(got, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read %q", got)
+	}
+	if f.Size() != 5+int64(len(data)) {
+		t.Fatalf("Size = %d", f.Size())
+	}
+}
+
+func TestCommitForcesOnlyLog(t *testing.T) {
+	v, _, f := newWAL(t)
+	if _, err := f.WriteAt("txn:1", []byte("small record"), 0); err != nil {
+		t.Fatal(err)
+	}
+	before := v.Stats().Snapshot()
+	if err := f.Commit("txn:1"); err != nil {
+		t.Fatal(err)
+	}
+	d := v.Stats().Snapshot().Sub(before)
+	// One small record + commit mark fits in one log page: exactly one
+	// forced write, zero data/inode writes (deferred to checkpoint).
+	if d.Get(stats.WALWrites) != 1 {
+		t.Fatalf("WALWrites = %d, want 1", d.Get(stats.WALWrites))
+	}
+	if d.Get(stats.DataPageWrites) != 0 || d.Get(stats.InodeWrites) != 0 {
+		t.Fatalf("commit forced data/inode writes: %v", d)
+	}
+}
+
+func TestAbortIsFree(t *testing.T) {
+	v, _, f := newWAL(t)
+	if _, err := f.WriteAt("txn:1", []byte("doomed"), 0); err != nil {
+		t.Fatal(err)
+	}
+	before := v.Stats().Snapshot()
+	if err := f.Abort("txn:1"); err != nil {
+		t.Fatal(err)
+	}
+	d := v.Stats().Snapshot().Sub(before)
+	if d.Get(stats.DiskWrites) != 0 || d.Get(stats.DiskReads) != 0 {
+		t.Fatalf("abort cost I/O: %v", d)
+	}
+	if f.Size() != 0 {
+		t.Fatalf("Size after abort = %d", f.Size())
+	}
+	got := make([]byte, 6)
+	if n, _ := f.ReadAt(got, 0); n != 0 {
+		t.Fatal("aborted bytes visible")
+	}
+	if err := f.Abort("txn:1"); !errors.Is(err, ErrNoUpdates) {
+		t.Fatalf("double abort: %v", err)
+	}
+}
+
+func TestCheckpointMakesDurable(t *testing.T) {
+	v, m, f := newWAL(t)
+	data := []byte("durable after checkpoint")
+	if _, err := f.WriteAt("txn:1", data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Commit("txn:1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash and reload: the in-place state must survive without replay.
+	v.Disk().Crash()
+	v.Disk().Restart()
+	v2, err := fs.Load("vol0", v.Disk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Attach(v2, m.Pages())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := OpenFile(m2, f.Ino())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := f2.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("after checkpoint+crash: %q", got)
+	}
+}
+
+func TestRecoveryRedoesCommitted(t *testing.T) {
+	v, m, f := newWAL(t)
+	committed := []byte("committed-record")
+	uncommitted := []byte("UNCOMMITTED")
+	if _, err := f.WriteAt("txn:C", committed, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Commit("txn:C"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt("txn:U", uncommitted, 100); err != nil {
+		t.Fatal(err)
+	}
+	// Crash before any checkpoint: in-place writes were volatile.
+	pages := m.Pages()
+	ino := f.Ino()
+	v.Disk().Crash()
+	v.Disk().Restart()
+	v2, err := fs.Load("vol0", v.Disk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Attach(v2, pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := OpenFile(m2, ino)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(committed))
+	if _, err := f2.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, committed) {
+		t.Fatalf("redo lost committed data: %q", got)
+	}
+	if f2.Size() != int64(len(committed)) {
+		t.Fatalf("recovered size = %d (uncommitted extension leaked?)", f2.Size())
+	}
+	// Recovery is idempotent: a second scan finds an empty log.
+	if err := m2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiOwnerVisibilityAndIsolation(t *testing.T) {
+	_, _, f := newWAL(t)
+	if _, err := f.WriteAt("a", []byte("AA"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt("b", []byte("BB"), 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Commit("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Abort("b"); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 2)
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("AA")) {
+		t.Fatalf("committed = %q", got)
+	}
+	if f.Size() != 2 {
+		t.Fatalf("size = %d", f.Size())
+	}
+}
+
+func TestLargeUpdateSplitsAcrossLogPages(t *testing.T) {
+	v, _, f := newWAL(t)
+	big := bytes.Repeat([]byte{0xEE}, testPageSize*2)
+	if _, err := f.WriteAt("txn:big", big, 0); err != nil {
+		t.Fatal(err)
+	}
+	before := v.Stats().Snapshot()
+	if err := f.Commit("txn:big"); err != nil {
+		t.Fatal(err)
+	}
+	d := v.Stats().Snapshot().Sub(before)
+	if d.Get(stats.WALWrites) < 3 {
+		t.Fatalf("big commit WALWrites = %d, want >= 3", d.Get(stats.WALWrites))
+	}
+	got := make([]byte, len(big))
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, big) {
+		t.Fatal("big record mismatch")
+	}
+}
+
+func TestLogWrapsWithoutCheckpoint(t *testing.T) {
+	st := stats.NewSet()
+	d := simdisk.New("d0", 64, testPageSize, st)
+	v, err := fs.Format("vol0", d, fs.Options{NumInodes: 4, LogPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(v, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ino, _ := v.AllocInode()
+	f, err := OpenFile(m, ino)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawWrap bool
+	for i := 0; i < 6; i++ {
+		if _, err := f.WriteAt("t", bytes.Repeat([]byte{1}, 150), int64(i*150)); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Commit("t"); err != nil {
+			if errors.Is(err, ErrLogWrapped) {
+				sawWrap = true
+				break
+			}
+			t.Fatal(err)
+		}
+	}
+	if !sawWrap {
+		t.Fatal("log never reported wrap")
+	}
+	// Checkpoint resets the log and unblocks commits.
+	if err := f.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt("t2", []byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Commit("t2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManagerValidation(t *testing.T) {
+	st := stats.NewSet()
+	d := simdisk.New("d0", 64, testPageSize, st)
+	v, _ := fs.Format("vol0", d, fs.Options{NumInodes: 4, LogPages: 4})
+	if _, err := NewManager(v, 1); err == nil {
+		t.Fatal("NewManager accepted 1 page")
+	}
+	if _, err := Attach(v, []int{99}); err == nil {
+		t.Fatal("Attach accepted 1 page")
+	}
+}
+
+func TestCommitNoUpdates(t *testing.T) {
+	_, _, f := newWAL(t)
+	if err := f.Commit("ghost"); !errors.Is(err, ErrNoUpdates) {
+		t.Fatalf("commit with no updates: %v", err)
+	}
+}

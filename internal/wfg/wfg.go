@@ -1,0 +1,278 @@
+// Package wfg implements deadlock detection over the lock manager's
+// wait-for edges.
+//
+// Section 3.1: "The Locus kernel does not detect deadlock.  Instead, an
+// interface to operating system data is provided, permitting a system
+// process to detect deadlock by constructing a wait-for graph, using
+// conventional techniques."  This package is that system process: it
+// gathers the per-site edges exported by lockmgr, builds the global
+// graph, finds cycles (as strongly connected components), and picks
+// victims under a pluggable policy.  Acting on a victim - aborting the
+// transaction - is the caller's job, keeping resolution strategies open,
+// exactly as the paper intends.
+package wfg
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/lockmgr"
+)
+
+// Graph is a wait-for graph over lock groups.
+type Graph struct {
+	// adj[waiter][holder] = files on which waiter waits for holder.
+	adj map[string]map[string][]string
+}
+
+// Build constructs a graph from wait-for edges (typically the
+// concatenation of every site's lockmgr.WaitEdges).
+func Build(edges []lockmgr.WaitEdge) *Graph {
+	g := &Graph{adj: make(map[string]map[string][]string)}
+	for _, e := range edges {
+		m := g.adj[e.Waiter]
+		if m == nil {
+			m = make(map[string][]string)
+			g.adj[e.Waiter] = m
+		}
+		m[e.Holder] = append(m[e.Holder], e.FileID)
+	}
+	return g
+}
+
+// Nodes returns every group appearing in the graph, sorted.
+func (g *Graph) Nodes() []string {
+	set := map[string]bool{}
+	for w, hs := range g.adj {
+		set[w] = true
+		for h := range hs {
+			set[h] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WaitsFor reports whether waiter has an edge to holder.
+func (g *Graph) WaitsFor(waiter, holder string) bool {
+	_, ok := g.adj[waiter][holder]
+	return ok
+}
+
+// Cycles returns the deadlocked groups as strongly connected components
+// with more than one member (or a self-loop), each sorted, the list
+// sorted by first member.  Every such component contains at least one
+// deadlock cycle; aborting one member per component breaks it.
+func (g *Graph) Cycles() [][]string {
+	// Tarjan's SCC algorithm, iterative over sorted nodes for
+	// determinism.
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	var comps [][]string
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+
+		var succs []string
+		for w := range g.adj[v] {
+			succs = append(succs, w)
+		}
+		sort.Strings(succs)
+		for _, w := range succs {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] {
+				if index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			if len(comp) > 1 || g.WaitsFor(comp[0], comp[0]) {
+				sort.Strings(comp)
+				comps = append(comps, comp)
+			}
+		}
+	}
+
+	for _, v := range g.Nodes() {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	return comps
+}
+
+// Deadlocked reports whether any cycle exists.
+func (g *Graph) Deadlocked() bool { return len(g.Cycles()) > 0 }
+
+// Policy selects the victim to abort from one deadlock cycle.
+type Policy func(cycle []string) string
+
+// VictimYoungest picks the lexicographically greatest transaction group.
+// Locus transaction identifiers are temporally unique and monotonically
+// ordered, so this aborts the youngest transaction, preserving the most
+// completed work.  Non-transaction groups are preferred as victims last
+// (they cannot be rolled back).
+func VictimYoungest(cycle []string) string {
+	best := ""
+	for _, g := range cycle {
+		if len(g) > 4 && g[:4] == "txn:" {
+			if best == "" || g > best {
+				best = g
+			}
+		}
+	}
+	if best == "" {
+		// All non-transactions: pick the greatest deterministically.
+		for _, g := range cycle {
+			if g > best {
+				best = g
+			}
+		}
+	}
+	return best
+}
+
+// VictimOldest picks the lexicographically least transaction group (most
+// work lost, but starvation-free for young transactions) - kept as an
+// alternative resolution strategy, as the paper leaves the policy open.
+func VictimOldest(cycle []string) string {
+	best := ""
+	for _, g := range cycle {
+		if len(g) > 4 && g[:4] == "txn:" {
+			if best == "" || g < best {
+				best = g
+			}
+		}
+	}
+	if best == "" {
+		for i, g := range cycle {
+			if i == 0 || g < best {
+				best = g
+			}
+		}
+	}
+	return best
+}
+
+// Victims applies the policy to every cycle, returning one victim per
+// cycle, deduplicated and sorted.
+func (g *Graph) Victims(policy Policy) []string {
+	if policy == nil {
+		policy = VictimYoungest
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, c := range g.Cycles() {
+		v := policy(c)
+		if v != "" && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Detector periodically collects edges, finds deadlocks, and reports
+// victims to a callback that is expected to abort them.
+type Detector struct {
+	// Collect gathers the current global wait-for edges (usually by
+	// querying every site's lock manager).
+	Collect func() []lockmgr.WaitEdge
+	// Policy selects victims; nil means VictimYoungest.
+	Policy Policy
+	// OnVictim is invoked once per victim found in a scan.
+	OnVictim func(group string, cycle []string)
+
+	mu      sync.Mutex
+	stopped chan struct{}
+}
+
+// Step performs one detection scan and returns the victims (after
+// invoking OnVictim for each).
+func (d *Detector) Step() []string {
+	g := Build(d.Collect())
+	cycles := g.Cycles()
+	policy := d.Policy
+	if policy == nil {
+		policy = VictimYoungest
+	}
+	seen := map[string]bool{}
+	var victims []string
+	for _, c := range cycles {
+		v := policy(c)
+		if v == "" || seen[v] {
+			continue
+		}
+		seen[v] = true
+		victims = append(victims, v)
+		if d.OnVictim != nil {
+			d.OnVictim(v, c)
+		}
+	}
+	sort.Strings(victims)
+	return victims
+}
+
+// Start runs Step every interval until Stop is called.
+func (d *Detector) Start(interval time.Duration) {
+	d.mu.Lock()
+	if d.stopped != nil {
+		d.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	d.stopped = stop
+	d.mu.Unlock()
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				d.Step()
+			}
+		}
+	}()
+}
+
+// Stop halts a running detector.  Safe to call when not started.
+func (d *Detector) Stop() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.stopped != nil {
+		close(d.stopped)
+		d.stopped = nil
+	}
+}

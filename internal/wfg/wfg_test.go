@@ -1,0 +1,269 @@
+package wfg
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/lockmgr"
+	"repro/internal/stats"
+)
+
+func edge(w, h, f string) lockmgr.WaitEdge {
+	return lockmgr.WaitEdge{Waiter: w, Holder: h, FileID: f}
+}
+
+func TestNoCycleInChain(t *testing.T) {
+	g := Build([]lockmgr.WaitEdge{
+		edge("txn:1", "txn:2", "f1"),
+		edge("txn:2", "txn:3", "f2"),
+	})
+	if g.Deadlocked() {
+		t.Fatal("chain reported as deadlock")
+	}
+	if len(g.Cycles()) != 0 {
+		t.Fatal("cycles in a DAG")
+	}
+}
+
+func TestTwoCycle(t *testing.T) {
+	g := Build([]lockmgr.WaitEdge{
+		edge("txn:1", "txn:2", "f1"),
+		edge("txn:2", "txn:1", "f2"),
+	})
+	cycles := g.Cycles()
+	if len(cycles) != 1 || !reflect.DeepEqual(cycles[0], []string{"txn:1", "txn:2"}) {
+		t.Fatalf("cycles = %v", cycles)
+	}
+	if got := g.Victims(VictimYoungest); !reflect.DeepEqual(got, []string{"txn:2"}) {
+		t.Fatalf("youngest victim = %v", got)
+	}
+	if got := g.Victims(VictimOldest); !reflect.DeepEqual(got, []string{"txn:1"}) {
+		t.Fatalf("oldest victim = %v", got)
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	// A group waiting on itself (possible with distinct processes of one
+	// transaction in a pathological composition) is a deadlock.
+	g := Build([]lockmgr.WaitEdge{edge("txn:1", "txn:1", "f1")})
+	if !g.Deadlocked() {
+		t.Fatal("self-loop not detected")
+	}
+}
+
+func TestMultipleIndependentCycles(t *testing.T) {
+	g := Build([]lockmgr.WaitEdge{
+		edge("txn:1", "txn:2", "f1"),
+		edge("txn:2", "txn:1", "f1"),
+		edge("txn:8", "txn:9", "f2"),
+		edge("txn:9", "txn:8", "f2"),
+		edge("txn:5", "txn:1", "f3"), // waits into cycle but not part of it
+	})
+	cycles := g.Cycles()
+	if len(cycles) != 2 {
+		t.Fatalf("cycles = %v", cycles)
+	}
+	victims := g.Victims(nil)
+	if !reflect.DeepEqual(victims, []string{"txn:2", "txn:9"}) {
+		t.Fatalf("victims = %v", victims)
+	}
+}
+
+func TestThreeCycleSCC(t *testing.T) {
+	g := Build([]lockmgr.WaitEdge{
+		edge("txn:a", "txn:b", "f1"),
+		edge("txn:b", "txn:c", "f2"),
+		edge("txn:c", "txn:a", "f3"),
+	})
+	cycles := g.Cycles()
+	if len(cycles) != 1 || len(cycles[0]) != 3 {
+		t.Fatalf("cycles = %v", cycles)
+	}
+}
+
+func TestVictimPrefersTransactions(t *testing.T) {
+	// A cycle mixing transactions and a non-transaction process: the
+	// victim must be a transaction (processes cannot be rolled back).
+	cycle := []string{"pid:99", "txn:3", "txn:7"}
+	if v := VictimYoungest(cycle); v != "txn:7" {
+		t.Fatalf("youngest = %q", v)
+	}
+	if v := VictimOldest(cycle); v != "txn:3" {
+		t.Fatalf("oldest = %q", v)
+	}
+	// All-process cycle still yields a deterministic victim.
+	if v := VictimYoungest([]string{"pid:2", "pid:1"}); v != "pid:2" {
+		t.Fatalf("process victim = %q", v)
+	}
+	if v := VictimOldest([]string{"pid:2", "pid:1"}); v != "pid:1" {
+		t.Fatalf("process victim = %q", v)
+	}
+}
+
+func TestNodesAndWaitsFor(t *testing.T) {
+	g := Build([]lockmgr.WaitEdge{edge("a", "b", "f")})
+	if !reflect.DeepEqual(g.Nodes(), []string{"a", "b"}) {
+		t.Fatalf("nodes = %v", g.Nodes())
+	}
+	if !g.WaitsFor("a", "b") || g.WaitsFor("b", "a") {
+		t.Fatal("WaitsFor")
+	}
+}
+
+func TestDetectorStepInvokesCallback(t *testing.T) {
+	var calls []string
+	d := &Detector{
+		Collect: func() []lockmgr.WaitEdge {
+			return []lockmgr.WaitEdge{
+				edge("txn:1", "txn:2", "f1"),
+				edge("txn:2", "txn:1", "f1"),
+			}
+		},
+		OnVictim: func(group string, cycle []string) {
+			calls = append(calls, group)
+			if len(cycle) != 2 {
+				t.Errorf("cycle = %v", cycle)
+			}
+		},
+	}
+	victims := d.Step()
+	if !reflect.DeepEqual(victims, []string{"txn:2"}) || !reflect.DeepEqual(calls, []string{"txn:2"}) {
+		t.Fatalf("victims = %v, calls = %v", victims, calls)
+	}
+}
+
+func TestDetectorStartStop(t *testing.T) {
+	var scans atomic.Int64
+	d := &Detector{
+		Collect: func() []lockmgr.WaitEdge {
+			scans.Add(1)
+			return nil
+		},
+	}
+	d.Start(2 * time.Millisecond)
+	d.Start(2 * time.Millisecond) // second start is a no-op
+	time.Sleep(20 * time.Millisecond)
+	d.Stop()
+	d.Stop() // double stop is safe
+	n := scans.Load()
+	if n == 0 {
+		t.Fatal("detector never scanned")
+	}
+	time.Sleep(10 * time.Millisecond)
+	if scans.Load() != n {
+		t.Fatal("detector kept scanning after Stop")
+	}
+}
+
+// TestEndToEndWithLockManager wires a real lock table into the detector:
+// two transactions deadlock across two files; the victim's cancellation
+// releases the other.
+func TestEndToEndWithLockManager(t *testing.T) {
+	st := stats.NewSet()
+	m := lockmgr.NewManager(st)
+	fa := m.File("f/a", nil)
+	fb := m.File("f/b", nil)
+	h1 := lockmgr.Holder{PID: 1, Txn: "T1"}
+	h2 := lockmgr.Holder{PID: 2, Txn: "T2"}
+
+	if _, err := fa.Lock(lockmgr.Request{Holder: h1, Mode: lockmgr.ModeExclusive, Off: 0, Len: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fb.Lock(lockmgr.Request{Holder: h2, Mode: lockmgr.ModeExclusive, Off: 0, Len: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, err := fb.Lock(lockmgr.Request{Holder: h1, Mode: lockmgr.ModeExclusive, Off: 0, Len: 1, Wait: true, Timeout: 2 * time.Second})
+		errs <- err
+	}()
+	go func() {
+		defer wg.Done()
+		_, err := fa.Lock(lockmgr.Request{Holder: h2, Mode: lockmgr.ModeExclusive, Off: 0, Len: 1, Wait: true, Timeout: 2 * time.Second})
+		errs <- err
+	}()
+	for fa.QueueLength() == 0 || fb.QueueLength() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	d := &Detector{
+		Collect: m.WaitEdges,
+		OnVictim: func(group string, cycle []string) {
+			m.ReleaseGroup(group) // abort: cancel waits + drop locks
+		},
+	}
+	victims := d.Step()
+	if !reflect.DeepEqual(victims, []string{"txn:T2"}) {
+		t.Fatalf("victims = %v", victims)
+	}
+	wg.Wait()
+	close(errs)
+	var okCount, cancelCount int
+	for err := range errs {
+		if err == nil {
+			okCount++
+		} else {
+			cancelCount++
+		}
+	}
+	if okCount != 1 || cancelCount != 1 {
+		t.Fatalf("ok=%d cancelled=%d, want 1/1", okCount, cancelCount)
+	}
+	// After resolution no deadlock remains.
+	if Build(m.WaitEdges()).Deadlocked() {
+		t.Fatal("deadlock persists after victim abort")
+	}
+}
+
+// Property: Cycles() finds a deadlock exactly when the edge set contains
+// a directed cycle (checked against an independent DFS).
+func TestCycleDetectionMatchesReferenceProperty(t *testing.T) {
+	names := []string{"txn:1", "txn:2", "txn:3", "txn:4", "txn:5"}
+	f := func(pairs []struct{ A, B uint8 }) bool {
+		var edges []lockmgr.WaitEdge
+		adj := map[string][]string{}
+		for _, p := range pairs {
+			a := names[int(p.A)%len(names)]
+			b := names[int(p.B)%len(names)]
+			edges = append(edges, edge(a, b, "f"))
+			adj[a] = append(adj[a], b)
+		}
+		// Reference: DFS cycle detection.
+		const (
+			white = 0
+			gray  = 1
+			black = 2
+		)
+		color := map[string]int{}
+		var hasCycle bool
+		var dfs func(n string)
+		dfs = func(n string) {
+			color[n] = gray
+			for _, m := range adj[n] {
+				if color[m] == gray {
+					hasCycle = true
+				} else if color[m] == white {
+					dfs(m)
+				}
+			}
+			color[n] = black
+		}
+		for n := range adj {
+			if color[n] == white {
+				dfs(n)
+			}
+		}
+		return Build(edges).Deadlocked() == hasCycle
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

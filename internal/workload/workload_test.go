@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateSequential(t *testing.T) {
+	accs := Generate(Spec{Pattern: Sequential, FileSize: 1024, RecordSize: 64, Count: 20, Seed: 1})
+	if len(accs) != 20 {
+		t.Fatalf("count = %d", len(accs))
+	}
+	// Ascending slots, wrapping at file size.
+	nSlots := int64(1024 / 64)
+	for i, a := range accs {
+		want := (int64(i) % nSlots) * 64
+		if a.Off != want || a.Len != 64 {
+			t.Fatalf("access %d = %+v, want off %d", i, a, want)
+		}
+	}
+}
+
+func TestGenerateBounds(t *testing.T) {
+	for _, pat := range []Pattern{Sequential, Random, HotCold} {
+		accs := Generate(Spec{Pattern: pat, FileSize: 4096, RecordSize: 100, Count: 200, Seed: 7})
+		for _, a := range accs {
+			if a.Off < 0 || a.Off+int64(a.Len) > 4096 {
+				t.Fatalf("%v access out of bounds: %+v", pat, a)
+			}
+			if a.Off%100 != 0 {
+				t.Fatalf("%v access not slot-aligned: %+v", pat, a)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Spec{Pattern: Random, FileSize: 8192, RecordSize: 32, Count: 50, Seed: 99}
+	a := Generate(spec)
+	b := Generate(spec)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different strings")
+		}
+	}
+	spec.Seed = 100
+	c := Generate(spec)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical strings")
+	}
+}
+
+func TestGenerateDegenerate(t *testing.T) {
+	if got := Generate(Spec{Pattern: Random, FileSize: 10, RecordSize: 0, Count: 5}); got != nil {
+		t.Fatal("zero record size")
+	}
+	if got := Generate(Spec{Pattern: Random, FileSize: 10, RecordSize: 20, Count: 5}); got != nil {
+		t.Fatal("record bigger than file")
+	}
+	if got := Generate(Spec{Pattern: Random, FileSize: 100, RecordSize: 10, Count: 0}); got != nil {
+		t.Fatal("zero count")
+	}
+}
+
+func TestHotColdSkew(t *testing.T) {
+	accs := Generate(Spec{Pattern: HotCold, FileSize: 64 * 1024, RecordSize: 64, Count: 5000, Seed: 3})
+	nSlots := int64(64 * 1024 / 64)
+	hotLimit := (nSlots / 10) * 64
+	hot := 0
+	for _, a := range accs {
+		if a.Off < hotLimit {
+			hot++
+		}
+	}
+	frac := float64(hot) / float64(len(accs))
+	if frac < 0.85 || frac > 0.95 {
+		t.Fatalf("hot fraction = %.2f, want ~0.9", frac)
+	}
+}
+
+func TestPayloadDeterministic(t *testing.T) {
+	a := Payload(3, 16)
+	b := Payload(3, 16)
+	if string(a) != string(b) {
+		t.Fatal("payload not deterministic")
+	}
+	if len(a) != 16 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for _, c := range a {
+		if c < 'A' || c > 'Z' {
+			t.Fatalf("payload byte %q", c)
+		}
+	}
+}
+
+func TestDebitCredit(t *testing.T) {
+	trs := DebitCredit(10, 100, 5)
+	if len(trs) != 100 {
+		t.Fatalf("count = %d", len(trs))
+	}
+	for _, tr := range trs {
+		if tr.From == tr.To {
+			t.Fatalf("self transfer: %+v", tr)
+		}
+		if tr.From < 0 || tr.From >= 10 || tr.To < 0 || tr.To >= 10 {
+			t.Fatalf("account out of range: %+v", tr)
+		}
+		if tr.Amount < 1 || tr.Amount > 10 {
+			t.Fatalf("amount out of range: %+v", tr)
+		}
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	if Sequential.String() != "sequential" || Random.String() != "random" || HotCold.String() != "hotcold" {
+		t.Fatal("pattern names")
+	}
+	if Pattern(9).String() != "pattern(9)" {
+		t.Fatal("unknown pattern")
+	}
+}
+
+// Property: every generated access is in bounds and slot-aligned for
+// arbitrary specs.
+func TestGenerateInvariantProperty(t *testing.T) {
+	f := func(pat uint8, recSizeRaw uint8, countRaw uint8, seed int64) bool {
+		recSize := int(recSizeRaw)%256 + 1
+		count := int(countRaw) % 64
+		spec := Spec{
+			Pattern:    Pattern(int(pat) % 3),
+			FileSize:   int64(recSize) * 50,
+			RecordSize: recSize,
+			Count:      count,
+			Seed:       seed,
+		}
+		accs := Generate(spec)
+		if count == 0 {
+			return accs == nil
+		}
+		if len(accs) != count {
+			return false
+		}
+		for _, a := range accs {
+			if a.Off < 0 || a.Off+int64(a.Len) > spec.FileSize || a.Off%int64(recSize) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
