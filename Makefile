@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test race bench experiments examples tools clean
+.PHONY: all test race bench chaos experiments examples tools clean
 
 all: test
 
@@ -14,6 +14,9 @@ race:            ## run the suite under the race detector
 
 bench:           ## regenerate every paper table/figure via testing.B
 	$(GO) test -bench=. -benchmem .
+
+chaos:           ## 20-seed fault-injection sweep with the section 5 audit
+	$(GO) run ./cmd/locuschaos -sweep 20 -duration 1s
 
 experiments:     ## print every experiment as paper-style tables
 	$(GO) run ./cmd/locusbench

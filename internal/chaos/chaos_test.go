@@ -1,0 +1,205 @@
+package chaos
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/simnet"
+)
+
+func TestGenScheduleDeterministic(t *testing.T) {
+	sites := []simnet.SiteID{1, 2, 3, 4}
+	a := GenSchedule(42, 2*time.Second, sites, DefaultFaults())
+	b := GenSchedule(42, 2*time.Second, sites, DefaultFaults())
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different schedules:\n%s\nvs\n%s", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("seed 42 generated an empty schedule")
+	}
+	c := GenSchedule(43, 2*time.Second, sites, DefaultFaults())
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	// Every crash has a restart at a later time for the same site.
+	for i, f := range a {
+		if f.Kind != FaultCrash && f.Kind != FaultDiskCrash {
+			continue
+		}
+		found := false
+		for _, g := range a[i:] {
+			if g.Kind == FaultRestart && g.Site == f.Site && g.At > f.At {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("crash of site %d at %s has no matching restart", f.Site, f.At)
+		}
+	}
+}
+
+func TestScheduleRoundTrip(t *testing.T) {
+	sched := GenSchedule(7, time.Second, []simnet.SiteID{1, 2, 3}, DefaultFaults())
+	back, err := ParseSchedule(sched.Compact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sched, back) {
+		t.Fatalf("schedule did not round-trip:\n%s\nvs\n%s", sched, back)
+	}
+	if _, err := ParseSchedule("100ms:crash:2, 250ms:drop:0.3; 400ms:restart:2,500ms:heal"); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"crash:2", "100ms:warp:1", "100ms:drop:2.0", "100ms:block:12"} {
+		if _, err := ParseSchedule(bad); err == nil {
+			t.Errorf("ParseSchedule(%q) accepted garbage", bad)
+		}
+	}
+}
+
+// TestRunShort is the deterministic smoke run wired into go test: a small
+// cluster, a fixed seed, every fault kind, and the full section 5 audit.
+func TestRunShort(t *testing.T) {
+	res, err := Run(Options{
+		Seed:     1,
+		Duration: 600 * time.Millisecond,
+		Sites:    3,
+		Workers:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("invariant violations:\n%s", res.Report(true))
+	}
+	if res.Commits == 0 {
+		t.Log("warning: no transaction survived the schedule; faults may be too dense")
+	}
+	t.Logf("\n%s", res.Report(true))
+}
+
+// TestReportReproducible runs the same seed twice and demands the exact
+// same deterministic report - the property that makes a failure's
+// "replay: locuschaos -seed N" line trustworthy.
+func TestReportReproducible(t *testing.T) {
+	opts := Options{Seed: 99, Duration: 400 * time.Millisecond, Sites: 3, Workers: 4}
+	r1, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := r1.Report(false), r2.Report(false); a != b {
+		t.Fatalf("same seed, different reports:\n--- run 1\n%s\n--- run 2\n%s", a, b)
+	}
+}
+
+// TestSweep hammers many seeds with crashes, partitions and message
+// drops.  Long; skipped under -short.
+func TestSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized sweep skipped in -short mode")
+	}
+	faults, err := ParseFaults("crash,partition,drop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			res, err := Run(Options{
+				Seed:     seed,
+				Duration: 400 * time.Millisecond,
+				Sites:    3,
+				Workers:  4,
+				Faults:   faults,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.OK() {
+				t.Fatalf("seed %d violations:\n%s", seed, res.Report(true))
+			}
+		})
+	}
+}
+
+// TestCheckerCatchesTornPair proves the audit has teeth: tear a pair on
+// purpose (a non-transaction write to only one file of a committed
+// pair, synced so it is durable) and the atomic-pairs check must flag
+// it.
+func TestCheckerCatchesTornPair(t *testing.T) {
+	e := &engine{opts: Options{Seed: 5, Sites: 2, Workers: 2}}
+	e.sys = core.NewSystem(cluster.Config{
+		RetryInterval:   10 * time.Millisecond,
+		LockWaitTimeout: 75 * time.Millisecond,
+		Net:             simnet.Config{CallTimeout: 60 * time.Millisecond, Seed: 5},
+	})
+	defer e.sys.Cluster().Shutdown()
+	for i := 1; i <= 2; i++ {
+		e.sys.AddSite(simnet.SiteID(i))
+		if err := e.sys.AddVolume(simnet.SiteID(i), volName(simnet.SiteID(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.setup(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Commit one honest marker to the first pair.
+	ps := e.pairs[0]
+	marker := []byte(fmt.Sprintf(markerFmt, ps.worker, 0))
+	ps.attempts = 1
+	if !e.runPair(1, ps, marker) {
+		t.Fatal("clean-network pair commit failed")
+	}
+	ps.confirmed = 0
+	if err := e.quiesce(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sanity: the audit passes before the sabotage.
+	for _, c := range e.check() {
+		if len(c.Violations) != 0 {
+			t.Fatalf("pre-sabotage violation in %s: %v", c.Name, c.Violations)
+		}
+	}
+
+	// The bug: a write that reaches only one file of the pair, made
+	// durable outside any transaction.
+	p, err := e.sys.NewProcess(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := p.Open(ps.pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte(fmt.Sprintf(markerFmt, ps.worker, 9999)), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	caught := false
+	for _, c := range e.check() {
+		if c.Name == "atomic-pairs" && len(c.Violations) != 0 {
+			caught = true
+			t.Logf("checker caught the injected tear: %v", c.Violations)
+		}
+	}
+	if !caught {
+		t.Fatal("checker missed a deliberately torn pair")
+	}
+}

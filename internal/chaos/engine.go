@@ -1,0 +1,525 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/simnet"
+)
+
+// Options configures one chaos run.
+type Options struct {
+	Seed     int64                            // drives schedule generation and worker choices
+	Duration time.Duration                    // workload window (default 2s)
+	Sites    int                              // cluster size (default 4, min 2)
+	Workers  int                              // concurrent workload goroutines (default 6, min 2)
+	Faults   FaultSet                         // kinds GenSchedule may draw (default all)
+	Schedule Schedule                         // explicit schedule; overrides generation
+	Logf     func(format string, args ...any) // live fault/progress log (nil = silent)
+}
+
+const (
+	initialBalance = 1000
+	// markerFmt stamps pair files: worker then attempt, fixed width so a
+	// committed pair always holds exactly one whole marker.
+	markerFmt = "W%03d-%05d"
+)
+
+// pairState is one pair worker's ground truth for the audit: the pair
+// must end up all-or-nothing, holding a marker the worker issued, no
+// older than its last client-confirmed commit.
+type pairState struct {
+	worker       int
+	pathA, pathB string
+	attempts     int // markers issued: 0..attempts-1
+	confirmed    int // highest attempt whose EndTrans returned nil; -1 = none
+}
+
+// Result is the outcome of a chaos run.  Schedule and Checks are
+// deterministic for a given (Seed, Duration, Sites, Workers, Faults);
+// Commits/Aborts depend on real scheduling and are reported separately.
+type Result struct {
+	Seed     int64
+	Sites    int
+	Workers  int
+	Duration time.Duration
+	Schedule Schedule
+	Commits  int64
+	Aborts   int64
+	Checks   []CheckResult
+}
+
+// CheckResult is one invariant's verdict.
+type CheckResult struct {
+	Name       string   // e.g. "atomic-pairs"
+	Detail     string   // deterministic scope summary, e.g. "3 pairs"
+	Violations []string // empty = PASS
+}
+
+// OK reports whether every invariant held.
+func (r *Result) OK() bool {
+	for _, c := range r.Checks {
+		if len(c.Violations) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Violations flattens every failed check's findings.
+func (r *Result) Violations() []string {
+	var out []string
+	for _, c := range r.Checks {
+		for _, v := range c.Violations {
+			out = append(out, c.Name+": "+v)
+		}
+	}
+	return out
+}
+
+// ReplayCommand is the locuschaos invocation that reproduces this run's
+// schedule and verdicts exactly.
+func (r *Result) ReplayCommand() string {
+	return fmt.Sprintf("locuschaos -seed %d -sites %d -workers %d -duration %s",
+		r.Seed, r.Sites, r.Workers, r.Duration)
+}
+
+// Report renders the run: header, fault timeline, invariant verdicts.
+// Everything here is bit-for-bit reproducible from the same options;
+// withStats appends the (nondeterministic) commit/abort counts.
+func (r *Result) Report(withStats bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos seed=%d sites=%d workers=%d duration=%s\n",
+		r.Seed, r.Sites, r.Workers, r.Duration)
+	fmt.Fprintf(&b, "schedule (%d faults):\n%s", len(r.Schedule), r.Schedule.String())
+	b.WriteString("invariants:\n")
+	for _, c := range r.Checks {
+		if len(c.Violations) == 0 {
+			fmt.Fprintf(&b, "  PASS %s (%s)\n", c.Name, c.Detail)
+			continue
+		}
+		fmt.Fprintf(&b, "  FAIL %s (%s)\n", c.Name, c.Detail)
+		for _, v := range c.Violations {
+			fmt.Fprintf(&b, "    - %s\n", v)
+		}
+	}
+	if r.OK() {
+		b.WriteString("verdict: PASS\n")
+	} else {
+		fmt.Fprintf(&b, "verdict: FAIL\nreplay: %s\n", r.ReplayCommand())
+	}
+	if withStats {
+		fmt.Fprintf(&b, "stats: %d commits, %d aborts\n", r.Commits, r.Aborts)
+	}
+	return b.String()
+}
+
+// engine carries one run's state between setup, workload and audit.
+type engine struct {
+	opts     Options
+	sys      *core.System
+	sched    Schedule
+	pairs    []*pairState
+	accounts []string // account file paths; committed balances must sum to total
+	total    int64
+	commits  atomic.Int64
+	aborts   atomic.Int64
+}
+
+func (e *engine) logf(format string, args ...any) {
+	if e.opts.Logf != nil {
+		e.opts.Logf(format, args...)
+	}
+}
+
+// Run executes one chaos run end to end: build a cluster, generate or
+// take a fault schedule, run concurrent pair and transfer transactions
+// while the scheduler injects the faults, then quiesce, force full
+// crash-restart recovery, and audit the DESIGN.md section 5 invariants.
+func Run(opts Options) (*Result, error) {
+	if opts.Sites < 2 {
+		if opts.Sites != 0 {
+			return nil, fmt.Errorf("chaos: need at least 2 sites, got %d", opts.Sites)
+		}
+		opts.Sites = 4
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 6
+	}
+	if opts.Workers < 2 {
+		opts.Workers = 2
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = 2 * time.Second
+	}
+	if opts.Faults == nil {
+		opts.Faults = DefaultFaults()
+	}
+
+	e := &engine{opts: opts}
+	siteIDs := make([]simnet.SiteID, opts.Sites)
+	for i := range siteIDs {
+		siteIDs[i] = simnet.SiteID(i + 1)
+	}
+	e.sched = opts.Schedule
+	if e.sched == nil {
+		e.sched = GenSchedule(opts.Seed, opts.Duration, siteIDs, opts.Faults)
+	}
+
+	// The cluster runs phase two asynchronously with a short retry timer:
+	// that is the configuration where lost commit messages, coordinator
+	// crashes and the retry path all genuinely interleave.
+	e.sys = core.NewSystem(cluster.Config{
+		RetryInterval:   10 * time.Millisecond,
+		LockWaitTimeout: 75 * time.Millisecond,
+		Net: simnet.Config{
+			CallTimeout: 60 * time.Millisecond,
+			Seed:        opts.Seed,
+		},
+	})
+	defer e.sys.Cluster().Shutdown()
+	for _, id := range siteIDs {
+		e.sys.AddSite(id)
+		if err := e.sys.AddVolume(id, volName(id)); err != nil {
+			return nil, err
+		}
+	}
+	if err := e.setup(); err != nil {
+		return nil, fmt.Errorf("chaos: workload setup: %w", err)
+	}
+
+	// Workload + fault injection.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		rng := rand.New(rand.NewSource(opts.Seed ^ (int64(w+1) << 20)))
+		if w < len(e.pairs) {
+			go func(w int, rng *rand.Rand) {
+				defer wg.Done()
+				e.pairWorker(e.pairs[w], rng, stop)
+			}(w, rng)
+		} else {
+			go func(rng *rand.Rand) {
+				defer wg.Done()
+				e.transferWorker(rng, stop)
+			}(rng)
+		}
+	}
+	schedDone := make(chan struct{})
+	start := time.Now()
+	go func() {
+		defer close(schedDone)
+		for _, f := range e.sched {
+			select {
+			case <-stop:
+				return
+			case <-time.After(time.Until(start.Add(f.At))):
+			}
+			e.apply(f)
+		}
+	}()
+	time.Sleep(opts.Duration)
+	close(stop)
+	wg.Wait()
+	<-schedDone
+
+	if err := e.quiesce(); err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Seed: opts.Seed, Sites: opts.Sites, Workers: opts.Workers,
+		Duration: opts.Duration, Schedule: e.sched,
+		Commits: e.commits.Load(), Aborts: e.aborts.Load(),
+	}
+	res.Checks = e.check()
+	return res, nil
+}
+
+func volName(id simnet.SiteID) string { return fmt.Sprintf("v%d", id) }
+
+// setup creates the pair files and the committed initial account
+// balances before any fault fires.  Half the workers (at least one) run
+// pair transactions, the rest run transfers over 2*Sites accounts.
+func (e *engine) setup() error {
+	nPairs := e.opts.Workers / 2
+	if nPairs == 0 {
+		nPairs = 1
+	}
+	p, err := e.sys.NewProcess(1)
+	if err != nil {
+		return err
+	}
+	n := e.opts.Sites
+	for w := 0; w < nPairs; w++ {
+		ps := &pairState{
+			worker:    w,
+			pathA:     fmt.Sprintf("%s/pair%02d", volName(simnet.SiteID(w%n+1)), w),
+			pathB:     fmt.Sprintf("%s/pair%02d", volName(simnet.SiteID((w+1)%n+1)), w),
+			confirmed: -1,
+		}
+		for _, path := range []string{ps.pathA, ps.pathB} {
+			f, err := p.Create(path)
+			if err != nil {
+				return err
+			}
+			f.Close() //nolint:errcheck
+		}
+		e.pairs = append(e.pairs, ps)
+	}
+
+	// Accounts start at a committed balance; one transaction commits them
+	// all so the audit's conservation baseline is exact.
+	nAccts := 2 * n
+	if _, err := p.BeginTrans(); err != nil {
+		return err
+	}
+	for k := 0; k < nAccts; k++ {
+		path := fmt.Sprintf("%s/acct%02d", volName(simnet.SiteID(k%n+1)), k)
+		f, err := p.Create(path)
+		if err != nil {
+			return err
+		}
+		if _, err := f.WriteAt([]byte(fmt.Sprintf("%08d", initialBalance)), 0); err != nil {
+			return err
+		}
+		e.accounts = append(e.accounts, path)
+	}
+	if err := p.EndTrans(); err != nil {
+		return err
+	}
+	e.total = int64(nAccts) * initialBalance
+	return nil
+}
+
+// pairWorker repeatedly writes a fresh marker to both files of its pair
+// inside a transaction.  Faults make aborts routine; the audit only
+// cares that the pair is never torn and that confirmed commits survive.
+func (e *engine) pairWorker(ps *pairState, rng *rand.Rand, stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		attempt := ps.attempts
+		ps.attempts++
+		marker := []byte(fmt.Sprintf(markerFmt, ps.worker, attempt))
+		site := simnet.SiteID(rng.Intn(e.opts.Sites) + 1)
+		if e.runPair(site, ps, marker) {
+			ps.confirmed = attempt
+			e.commits.Add(1)
+		} else {
+			e.aborts.Add(1)
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func (e *engine) runPair(site simnet.SiteID, ps *pairState, marker []byte) bool {
+	p, err := e.sys.NewProcess(site)
+	if err != nil {
+		return false
+	}
+	fa, err := p.Open(ps.pathA)
+	if err != nil {
+		return false
+	}
+	fb, err := p.Open(ps.pathB)
+	if err != nil {
+		return false
+	}
+	if _, err := p.BeginTrans(); err != nil {
+		return false
+	}
+	if _, err := fa.WriteAt(marker, 0); err != nil {
+		p.AbortTrans() //nolint:errcheck // best effort under injected faults
+		return false
+	}
+	if _, err := fb.WriteAt(marker, 0); err != nil {
+		p.AbortTrans() //nolint:errcheck
+		return false
+	}
+	return p.EndTrans() == nil
+}
+
+// transferWorker moves random amounts between random account pairs.
+// Every transfer conserves the total, so the final committed balances
+// must still sum to the baseline whatever subset of transfers survived.
+func (e *engine) transferWorker(rng *rand.Rand, stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		i, j := rng.Intn(len(e.accounts)), rng.Intn(len(e.accounts))
+		if i == j {
+			continue
+		}
+		if i > j {
+			i, j = j, i // fixed lock order across workers: no ABBA deadlocks
+		}
+		amt := int64(1 + rng.Intn(10))
+		site := simnet.SiteID(rng.Intn(e.opts.Sites) + 1)
+		if e.runTransfer(site, e.accounts[i], e.accounts[j], amt) {
+			e.commits.Add(1)
+		} else {
+			e.aborts.Add(1)
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func (e *engine) runTransfer(site simnet.SiteID, from, to string, amt int64) bool {
+	p, err := e.sys.NewProcess(site)
+	if err != nil {
+		return false
+	}
+	fa, err := p.Open(from)
+	if err != nil {
+		return false
+	}
+	fb, err := p.Open(to)
+	if err != nil {
+		return false
+	}
+	if _, err := p.BeginTrans(); err != nil {
+		return false
+	}
+	abort := func() bool {
+		p.AbortTrans() //nolint:errcheck
+		return false
+	}
+	ba, err := readBalance(fa)
+	if err != nil {
+		return abort()
+	}
+	bb, err := readBalance(fb)
+	if err != nil {
+		return abort()
+	}
+	if amt > ba {
+		amt = ba // never overdraw; a zero transfer still exercises the protocol
+	}
+	if _, err := fa.WriteAt([]byte(fmt.Sprintf("%08d", ba-amt)), 0); err != nil {
+		return abort()
+	}
+	if _, err := fb.WriteAt([]byte(fmt.Sprintf("%08d", bb+amt)), 0); err != nil {
+		return abort()
+	}
+	return p.EndTrans() == nil
+}
+
+func readBalance(f *core.File) (int64, error) {
+	buf := make([]byte, 8)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		return 0, err
+	}
+	var v int64
+	if _, err := fmt.Sscanf(string(buf), "%d", &v); err != nil {
+		return 0, fmt.Errorf("chaos: unparseable balance %q: %v", buf, err)
+	}
+	return v, nil
+}
+
+// apply injects one scheduled fault into the live cluster.
+func (e *engine) apply(f Fault) {
+	cl := e.sys.Cluster()
+	net := cl.Net()
+	e.logf("inject +%s %s", f.At, f.String())
+	switch f.Kind {
+	case FaultCrash:
+		if s := cl.Site(f.Site); s != nil && s.Up() {
+			s.Crash()
+		}
+	case FaultDiskCrash:
+		if s := cl.Site(f.Site); s != nil && s.Up() {
+			// Media failure first (volatile pages gone), then the machine
+			// goes down with its disks.
+			for _, name := range s.Volumes() {
+				if v := s.Volume(name); v != nil {
+					v.Disk().Crash()
+				}
+			}
+			s.Crash()
+		}
+	case FaultRestart:
+		if s := cl.Site(f.Site); s != nil && !s.Up() {
+			if err := s.Restart(); err != nil {
+				e.logf("restart site %d failed: %v", f.Site, err)
+			}
+		}
+	case FaultPartition:
+		net.Partition(f.Site)
+	case FaultHeal:
+		net.Heal()
+	case FaultBlockLink:
+		net.BlockLink(f.Site, f.To)
+	case FaultUnblockLink:
+		net.UnblockLink(f.Site, f.To)
+	case FaultDrop:
+		net.SetDropRate(f.Rate)
+	case FaultDup:
+		net.SetDupRate(f.Rate)
+	case FaultLatency:
+		net.SetLatency(f.Dur)
+	}
+}
+
+// quiesce returns the cluster to a clean, fully-recovered state: faults
+// cleared, every site crash-restarted (so the audit sees only what
+// stable storage and the recovery protocol preserve), in-doubt
+// participants resolved and phase two drained everywhere.
+func (e *engine) quiesce() error {
+	cl := e.sys.Cluster()
+	net := cl.Net()
+	net.SetDropRate(0)
+	net.SetDupRate(0)
+	net.SetLatency(0)
+	net.SetFaultFilter(nil)
+	net.Heal()
+
+	for _, id := range cl.Sites() {
+		if s := cl.Site(id); s.Up() {
+			s.Crash()
+		}
+	}
+	for _, id := range cl.Sites() {
+		if err := cl.Site(id).Restart(); err != nil {
+			return fmt.Errorf("chaos: final restart of site %d: %w", id, err)
+		}
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		pending := 0
+		for _, id := range cl.Sites() {
+			s := cl.Site(id)
+			n, err := s.ResolveInDoubt()
+			if err != nil {
+				return fmt.Errorf("chaos: resolve in doubt at site %d: %w", id, err)
+			}
+			pending += n
+			if coord, err := s.Coordinator(); err == nil {
+				coord.RetryPending()
+				pending += coord.PendingCount()
+			}
+		}
+		if pending == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return errors.New("chaos: recovery never drained (in-doubt or pending phase two stuck)")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -75,6 +75,10 @@ type Config struct {
 	// LockWaitTimeout bounds implicit and Wait-mode lock waits; zero
 	// means 2s.
 	LockWaitTimeout time.Duration
+	// RetryInterval spaces each coordinator's automatic phase-two
+	// retries to unreachable participants.  Zero disables the timer
+	// (RetryPending still works when called directly).
+	RetryInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -240,6 +244,28 @@ func splitPath(path string) (vol, name string, err error) {
 	return path[:i], path[i+1:], nil
 }
 
+// Shutdown stops every site's coordinator retry timer and closes the
+// network.  The cluster's durable state (disks) is untouched; Shutdown
+// exists so tests and the chaos engine can tear a cluster down without
+// leaking goroutines.
+func (c *Cluster) Shutdown() {
+	c.mu.Lock()
+	sites := make([]*Site, 0, len(c.sites))
+	for _, s := range c.sites {
+		sites = append(sites, s)
+	}
+	c.mu.Unlock()
+	for _, s := range sites {
+		s.mu.Lock()
+		coord := s.coord
+		s.mu.Unlock()
+		if coord != nil {
+			coord.Close()
+		}
+	}
+	c.net.Close()
+}
+
 // Report renders the cluster's counters under a cost model.
 func (c *Cluster) Report(m costmodel.Model) costmodel.Report {
 	return m.Report(c.st.Snapshot())
@@ -277,6 +303,12 @@ type preparedTxn struct {
 	// the outcome is applied from the logged intentions in records.
 	recovered bool
 	records   []volRecord
+	// applying marks an outcome delivery in progress.  The entry stays in
+	// the table until the outcome is fully applied, so a failed apply is
+	// retried by the coordinator instead of being acknowledged as a
+	// no-op duplicate; a concurrent duplicate arriving mid-apply is
+	// rejected (the coordinator retries) rather than acked early.
+	applying bool
 }
 
 // volRecord pairs a recovered prepare record with its volume.
@@ -320,11 +352,20 @@ func (s *Site) ID() simnet.SiteID { return s.id }
 // Cluster returns the owning cluster.
 func (s *Site) Cluster() *Cluster { return s.cl }
 
-// Procs exposes the site's process table.
-func (s *Site) Procs() *proc.Table { return s.procs }
+// Procs exposes the site's process table.  (Restart swaps in a fresh
+// table, so the read is guarded.)
+func (s *Site) Procs() *proc.Table {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.procs
+}
 
 // Locks exposes the site's lock manager (storage-site lock lists).
-func (s *Site) Locks() *lockmgr.Manager { return s.locks }
+func (s *Site) Locks() *lockmgr.Manager {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.locks
+}
 
 // Up reports whether the site is running.
 func (s *Site) Up() bool {
@@ -368,7 +409,8 @@ func (s *Site) Coordinator() (*tpc.Coordinator, error) {
 	defer s.mu.Unlock()
 	if s.coord == nil {
 		s.coord = tpc.NewCoordinator(s.id, vol, &siteTransport{s: s}, s.st, tpc.Config{
-			SyncPhase2: s.cl.cfg.SyncPhase2,
+			SyncPhase2:    s.cl.cfg.SyncPhase2,
+			RetryInterval: s.cl.cfg.RetryInterval,
 		})
 	}
 	return s.coord, nil

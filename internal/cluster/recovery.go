@@ -20,6 +20,8 @@ import (
 func (s *Site) Crash() {
 	s.mu.Lock()
 	s.up = false
+	coord := s.coord
+	s.coord = nil
 	vols := make([]*volState, 0, len(s.vols))
 	for _, vs := range s.vols {
 		vols = append(vols, vs)
@@ -28,6 +30,11 @@ func (s *Site) Crash() {
 		vols = append(vols, rep.vs)
 	}
 	s.mu.Unlock()
+	if coord != nil {
+		// The retry-timer goroutine dies with its kernel; Restart builds
+		// a fresh coordinator and its Recover re-drives pending phase two.
+		coord.Close()
+	}
 	s.cl.net.CrashSite(s.id)
 	for _, vs := range vols {
 		vs.disk.Crash()
@@ -66,8 +73,15 @@ func (s *Site) Restart() error {
 	s.lockCache = make(map[string][]cachedLock)
 	s.cacheMu.Unlock()
 
-	// 1-2: reload volumes, pin prepared pages.
+	// 1-2: reload volumes, pin prepared pages.  The old volume handles
+	// are fenced first: goroutines from before the crash (phase-two
+	// retries, a stale coordinator's finish) may still hold them, and a
+	// write through a superseded handle lands on pages the reloaded
+	// allocator has reassigned.
 	for _, vs := range vols {
+		if vs.vol != nil {
+			vs.vol.Invalidate()
+		}
 		vs.disk.Restart()
 		vol, err := fs.Load(vs.name, vs.disk)
 		if err != nil {
@@ -91,6 +105,9 @@ func (s *Site) Restart() error {
 	}
 	s.mu.Unlock()
 	for _, rep := range reps {
+		if rep.vs.vol != nil {
+			rep.vs.vol.Invalidate()
+		}
 		rep.vs.disk.Restart()
 		vol, err := fs.Load(rep.vs.name, rep.vs.disk)
 		if err != nil {
@@ -105,22 +122,32 @@ func (s *Site) Restart() error {
 		s.mu.Unlock()
 	}
 
+	// 3a: re-register every surviving prepare record and re-establish its
+	// retained locks BEFORE rejoining the network.  A commit or abort
+	// retry that arrived while s.prepared was still empty would be
+	// acknowledged as an idempotent duplicate, letting the coordinator
+	// reclaim its log record while this site still held the transaction
+	// in doubt - which presumed abort would then mis-resolve.
+	for _, vs := range vols {
+		recs, err := tpc.ReadPrepareRecords(vs.vol)
+		if err != nil {
+			return err
+		}
+		for _, rec := range recs {
+			s.relockRecovered(vs, rec)
+		}
+	}
+
 	// Rejoin the network so coordinator queries can flow both ways.
 	s.mu.Lock()
 	s.up = true
 	s.mu.Unlock()
 	s.cl.net.RestartSite(s.id)
 
-	// 3: participant recovery per volume.
-	for _, vs := range vols {
-		vs := vs
-		res, err := tpc.RecoverParticipant(vs.vol, s.QueryStatus, func(rec tpc.PrepareRecord) {
-			s.relockRecovered(vs, rec)
-		})
-		if err != nil {
-			return err
-		}
-		_ = res
+	// 3b: resolve what we can now; transactions whose coordinator is
+	// unreachable stay in doubt for a later ResolveInDoubt.
+	if _, err := s.ResolveInDoubt(); err != nil {
+		return err
 	}
 
 	// 4: coordinator recovery.
@@ -193,14 +220,17 @@ func (s *Site) ResolveInDoubt() (int, error) {
 			remaining++
 			continue
 		}
+		// An apply error (including a racing delivery from the
+		// coordinator itself) leaves the transaction in doubt; the next
+		// resolution pass retries.
 		switch st {
 		case tpc.StatusCommitted:
 			if err := s.handleCommit2(commit2Req{Txid: txid}); err != nil {
-				return remaining, err
+				remaining++
 			}
 		default:
 			if err := s.handleAbortTxn(abortTxnReq{Txid: txid}); err != nil {
-				return remaining, err
+				remaining++
 			}
 		}
 	}

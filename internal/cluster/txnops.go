@@ -46,7 +46,12 @@ func (s *Site) registerHandlers() {
 	}))
 }
 
-// siteTransport adapts the site's endpoint to tpc.Transport.
+// siteTransport adapts the site's endpoint to tpc.Transport.  Prepare is
+// a single exchange: a lost prepare is treated as a refusal and aborts
+// the transaction (section 4.3).  Commit and abort messages are
+// idempotent (temporally-unique txids, section 4.4), so they ride
+// CallRetry's backoff to shrug off transient loss without waiting for
+// the coarse phase-two retry timer.
 type siteTransport struct{ s *Site }
 
 func (t *siteTransport) SendPrepare(site simnet.SiteID, txid string, fileIDs []string, coord simnet.SiteID) error {
@@ -55,12 +60,12 @@ func (t *siteTransport) SendPrepare(site simnet.SiteID, txid string, fileIDs []s
 }
 
 func (t *siteTransport) SendCommit(site simnet.SiteID, txid string) error {
-	_, err := t.s.ep.Call(site, "commit2", commit2Req{Txid: txid})
+	_, err := t.s.ep.CallRetry(site, "commit2", commit2Req{Txid: txid}, 0)
 	return err
 }
 
 func (t *siteTransport) SendAbort(site simnet.SiteID, txid string) error {
-	_, err := t.s.ep.Call(site, "abortTxn", abortTxnReq{Txid: txid})
+	_, err := t.s.ep.CallRetry(site, "abortTxn", abortTxnReq{Txid: txid}, 0)
 	return err
 }
 
@@ -146,7 +151,13 @@ func (s *Site) handleCommit2(req commit2Req) error {
 	s.mu.Lock()
 	pt, ok := s.prepared[req.Txid]
 	if ok {
-		delete(s.prepared, req.Txid)
+		if pt.applying {
+			s.mu.Unlock()
+			// A duplicate racing the first delivery: make the coordinator
+			// retry rather than ack an outcome that may yet fail.
+			return fmt.Errorf("cluster: txn %s commit already in progress", req.Txid)
+		}
+		pt.applying = true
 	}
 	s.mu.Unlock()
 	if !ok {
@@ -154,25 +165,38 @@ func (s *Site) handleCommit2(req commit2Req) error {
 	}
 	owner := TxnOwner(req.Txid)
 
+	// The prepared entry stays in the table until the outcome has fully
+	// applied; a mid-apply failure leaves it for the coordinator's retry
+	// (already-committed files are skipped by the HasMods check, so the
+	// retry is idempotent).
+	fail := func(err error) error {
+		s.mu.Lock()
+		pt.applying = false
+		s.mu.Unlock()
+		return err
+	}
 	if pt.recovered {
 		// The in-memory working state died with the crash; apply the
 		// logged intentions instead.
 		if err := s.applyRecovered(pt); err != nil {
-			return err
+			return fail(err)
 		}
 	} else {
 		for _, fileID := range pt.fileIDs {
 			of, err := s.lookupOpen(fileID)
 			if err != nil {
-				return err
+				return fail(err)
 			}
 			if of.file.HasMods(owner) {
 				if err := of.file.Commit(owner); err != nil {
-					return err
+					return fail(err)
 				}
 			}
 		}
 	}
+	s.mu.Lock()
+	delete(s.prepared, req.Txid)
+	s.mu.Unlock()
 	s.finishTxn(req.Txid, pt.fileIDs)
 	return nil
 }
@@ -185,22 +209,38 @@ func (s *Site) handleAbortTxn(req abortTxnReq) error {
 
 	s.mu.Lock()
 	pt := s.prepared[req.Txid]
-	delete(s.prepared, req.Txid)
+	if pt != nil {
+		if pt.applying {
+			s.mu.Unlock()
+			return fmt.Errorf("cluster: txn %s outcome already in progress", req.Txid)
+		}
+		pt.applying = true
+	}
 	files := make([]*openFile, 0, len(s.open))
 	for _, of := range s.open {
 		files = append(files, of)
 	}
 	s.mu.Unlock()
 
+	// As in handleCommit2, the prepared entry survives a failed rollback
+	// so the coordinator's retry finds it again.
+	fail := func(err error) error {
+		if pt != nil {
+			s.mu.Lock()
+			pt.applying = false
+			s.mu.Unlock()
+		}
+		return err
+	}
 	if pt != nil && pt.recovered {
 		if err := s.discardRecovered(pt); err != nil {
-			return err
+			return fail(err)
 		}
 	} else {
 		for _, of := range files {
 			if of.file.HasMods(owner) {
 				if err := of.file.Abort(owner); err != nil {
-					return err
+					return fail(err)
 				}
 			}
 		}
@@ -208,6 +248,9 @@ func (s *Site) handleAbortTxn(req abortTxnReq) error {
 	var fileIDs []string
 	if pt != nil {
 		fileIDs = pt.fileIDs
+		s.mu.Lock()
+		delete(s.prepared, req.Txid)
+		s.mu.Unlock()
 	}
 	s.finishTxn(req.Txid, fileIDs)
 	return nil

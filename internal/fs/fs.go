@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/costmodel"
 	"repro/internal/simdisk"
@@ -44,17 +45,23 @@ const (
 
 // Errors returned by volume operations.
 var (
-	ErrBadVolume    = errors.New("fs: not a locus volume")
-	ErrNoSpace      = errors.New("fs: out of data pages")
-	ErrNoInodes     = errors.New("fs: out of inodes")
-	ErrBadInode     = errors.New("fs: invalid inode number")
-	ErrFreeInode    = errors.New("fs: inode is not allocated")
-	ErrNotData      = errors.New("fs: page outside data region")
-	ErrDoubleFree   = errors.New("fs: page already free")
-	ErrDoubleAlloc  = errors.New("fs: page already allocated")
-	ErrFileTooBig   = errors.New("fs: file exceeds inode pointer capacity")
-	ErrInodeInUse   = errors.New("fs: inode still references pages")
-	ErrBadGeometry  = errors.New("fs: bad volume geometry")
+	ErrBadVolume   = errors.New("fs: not a locus volume")
+	ErrNoSpace     = errors.New("fs: out of data pages")
+	ErrNoInodes    = errors.New("fs: out of inodes")
+	ErrBadInode    = errors.New("fs: invalid inode number")
+	ErrFreeInode   = errors.New("fs: inode is not allocated")
+	ErrNotData     = errors.New("fs: page outside data region")
+	ErrDoubleFree  = errors.New("fs: page already free")
+	ErrDoubleAlloc = errors.New("fs: page already allocated")
+	ErrFileTooBig  = errors.New("fs: file exceeds inode pointer capacity")
+	ErrInodeInUse  = errors.New("fs: inode still references pages")
+	ErrBadGeometry = errors.New("fs: bad volume geometry")
+	// ErrStaleVolume: the volume handle was superseded by a reload (the
+	// site crash-restarted and mounted a fresh Volume over the same
+	// disk).  Goroutines still holding the old handle must not touch
+	// stable storage: the reloaded allocator and log have reassigned the
+	// pages they remember.
+	ErrStaleVolume  = errors.New("fs: stale volume handle (superseded by reload)")
 	ErrInodeCorrupt = errors.New("fs: inode page corrupt")
 )
 
@@ -116,10 +123,28 @@ type Volume struct {
 	// both rows of Figure 5's discussion.
 	DoubleLogWrite bool
 
+	stale atomic.Bool // set by Invalidate; fences every mutation
+
 	mu        sync.Mutex
 	allocated map[int]bool // data-region pages currently in use
 	inodeUsed map[int]bool
 	log       *LogStore
+}
+
+// Invalidate fences the volume handle: every subsequent mutation fails
+// with ErrStaleVolume.  The recovery path calls this on the old Volume
+// before mounting a fresh one over the restarted disk, so that in-flight
+// goroutines from before the crash (a coordinator finishing phase two, a
+// shadow-file commit) cannot write through stale allocator or log state
+// and corrupt the reloaded image.
+func (v *Volume) Invalidate() { v.stale.Store(true) }
+
+// staleErr returns ErrStaleVolume once the handle has been invalidated.
+func (v *Volume) staleErr() error {
+	if v.stale.Load() {
+		return fmt.Errorf("%w: %s", ErrStaleVolume, v.name)
+	}
+	return nil
 }
 
 // Options configures Format.
@@ -270,6 +295,9 @@ func (v *Volume) checkIno(ino int) error {
 // AllocInode allocates a fresh inode, writing its (empty) descriptor block
 // synchronously, and returns its number.
 func (v *Volume) AllocInode() (int, error) {
+	if err := v.staleErr(); err != nil {
+		return -1, err
+	}
 	v.mu.Lock()
 	var ino = -1
 	for i := 0; i < v.geo.NumInodes; i++ {
@@ -298,6 +326,9 @@ func (v *Volume) AllocInode() (int, error) {
 // the file's data pages first; an inode still holding pointers is
 // rejected so leaks are loud.
 func (v *Volume) FreeInode(ino int) error {
+	if err := v.staleErr(); err != nil {
+		return err
+	}
 	if err := v.checkIno(ino); err != nil {
 		return err
 	}
@@ -385,6 +416,9 @@ func (v *Volume) ReadInode(ino int) (*Inode, error) {
 // single-indirect page (shadow-style), so a crash between the two writes
 // leaves the old descriptor and its old indirect page fully intact.
 func (v *Volume) WriteInode(node *Inode) error {
+	if err := v.staleErr(); err != nil {
+		return err
+	}
 	if err := v.checkIno(node.Ino); err != nil {
 		return err
 	}
@@ -475,6 +509,9 @@ func (v *Volume) checkData(p int) error {
 // physical number.  The page contents are whatever was on disk; callers
 // overwrite before use.
 func (v *Volume) AllocPage() (int, error) {
+	if err := v.staleErr(); err != nil {
+		return -1, err
+	}
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	v.st.Add(stats.Instructions, 60)
@@ -489,6 +526,9 @@ func (v *Volume) AllocPage() (int, error) {
 
 // FreePage returns a data page to the free pool.
 func (v *Volume) FreePage(p int) error {
+	if err := v.staleErr(); err != nil {
+		return err
+	}
 	if err := v.checkData(p); err != nil {
 		return err
 	}
@@ -504,6 +544,9 @@ func (v *Volume) FreePage(p int) error {
 // ReservePage marks a specific data page allocated; recovery uses it to
 // re-pin shadow pages named by a surviving prepare log.
 func (v *Volume) ReservePage(p int) error {
+	if err := v.staleErr(); err != nil {
+		return err
+	}
 	if err := v.checkData(p); err != nil {
 		return err
 	}
@@ -553,6 +596,9 @@ func (v *Volume) ReadStablePage(p int) ([]byte, error) {
 // WritePage writes a data page.  Asynchronous writes sit in the disk's
 // volatile layer until flushed and are lost on crash.
 func (v *Volume) WritePage(p int, data []byte, sync bool) error {
+	if err := v.staleErr(); err != nil {
+		return err
+	}
 	if err := v.checkData(p); err != nil {
 		return err
 	}
@@ -561,6 +607,9 @@ func (v *Volume) WritePage(p int, data []byte, sync bool) error {
 
 // FlushPage forces an asynchronously written data page to stable storage.
 func (v *Volume) FlushPage(p int) error {
+	if err := v.staleErr(); err != nil {
+		return err
+	}
 	if err := v.checkData(p); err != nil {
 		return err
 	}

@@ -220,6 +220,9 @@ func (l *LogStore) pagesNeeded(keyLen, payLen int) (int, error) {
 // In-place overwrite of a same-size record reuses the same pages, so a
 // status-marker flip is exactly one write.
 func (l *LogStore) Put(key string, kind LogKind, payload []byte) error {
+	if err := l.v.staleErr(); err != nil {
+		return err
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.v.st.Add(stats.Instructions, costmodel.InstrLogRecord)
@@ -315,6 +318,9 @@ func (l *LogStore) Get(key string) (*Record, error) {
 // Coordinator logs are deleted only after all commit or abort processing
 // has completed (section 4.4).  Deleting a missing key is a no-op.
 func (l *LogStore) Delete(key string) error {
+	if err := l.v.staleErr(); err != nil {
+		return err
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	pages := l.slots[key]

@@ -594,6 +594,19 @@ func (m *Manager) File(id string, sizeFn func() int64) *FileLocks {
 	return fl
 }
 
+// Files returns the ids of every file with lock state, sorted.  Audit
+// tools walk this to scan the whole lock table for conflicts.
+func (m *Manager) Files() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.files))
+	for id := range m.files {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Lookup returns the lock list for the file, or nil.
 func (m *Manager) Lookup(id string) *FileLocks {
 	m.mu.Lock()

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/costmodel"
@@ -112,13 +113,34 @@ type Config struct {
 	// DropRate is the probability in [0,1) that any single message is
 	// silently lost.
 	DropRate float64
+	// DupRate is the probability in [0,1) that a delivered message is
+	// delivered twice.  Handlers must be idempotent under duplication -
+	// the paper leans on temporally-unique transaction ids for exactly
+	// this (section 4.4); the chaos engine spikes DupRate to prove it.
+	DupRate float64
 	// CallTimeout bounds how long a Call waits for a response.  Zero
 	// means a generous default (2s real time).
 	CallTimeout time.Duration
 	// Seed seeds the drop generator; zero means a fixed default so runs
 	// are reproducible.
 	Seed int64
+	// RetryAttempts is the default try count for CallRetry when the
+	// caller passes attempts <= 0.  Zero means 4.
+	RetryAttempts int
+	// RetryBase is the first CallRetry backoff interval; each retry
+	// doubles it up to RetryCap, with seeded jitter in [d/2, d).  Zero
+	// means 2ms.
+	RetryBase time.Duration
+	// RetryCap bounds the exponential CallRetry backoff.  Zero means
+	// 100ms.
+	RetryCap time.Duration
 }
+
+// FaultFilter inspects an outbound message and returns true to drop it.
+// It runs under the network lock and must not call back into the network.
+// The chaos engine and protocol tests use it for surgical, deterministic
+// message loss (e.g. "drop every commit2 to site 1").
+type FaultFilter func(from, to SiteID, op string) bool
 
 // Network connects a set of site endpoints.
 type Network struct {
@@ -128,7 +150,9 @@ type Network struct {
 	cfg      Config
 	rng      *rand.Rand
 	sites    map[SiteID]*Endpoint
-	group    map[SiteID]int // partition group; all 0 when healed
+	group    map[SiteID]int             // partition group; all 0 when healed
+	blocked  map[SiteID]map[SiteID]bool // one-way link cuts: blocked[from][to]
+	filter   FaultFilter
 	watchers []func(TopologyEvent)
 	closed   bool
 }
@@ -138,16 +162,26 @@ func New(cfg Config, st *stats.Set) *Network {
 	if cfg.CallTimeout == 0 {
 		cfg.CallTimeout = 2 * time.Second
 	}
+	if cfg.RetryAttempts <= 0 {
+		cfg.RetryAttempts = 4
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 2 * time.Millisecond
+	}
+	if cfg.RetryCap <= 0 {
+		cfg.RetryCap = 100 * time.Millisecond
+	}
 	seed := cfg.Seed
 	if seed == 0 {
 		seed = 0x10c5 // fixed default for reproducibility
 	}
 	return &Network{
-		st:    st,
-		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(seed)),
-		sites: make(map[SiteID]*Endpoint),
-		group: make(map[SiteID]int),
+		st:      st,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(seed)),
+		sites:   make(map[SiteID]*Endpoint),
+		group:   make(map[SiteID]int),
+		blocked: make(map[SiteID]map[SiteID]bool),
 	}
 }
 
@@ -159,7 +193,8 @@ func (n *Network) AddSite(id SiteID) *Endpoint {
 	if e, ok := n.sites[id]; ok {
 		return e
 	}
-	e := &Endpoint{id: id, net: n, up: true, handlers: make(map[string]Handler)}
+	e := &Endpoint{id: id, net: n, handlers: make(map[string]Handler)}
+	e.up.Store(true)
 	n.sites[id] = e
 	n.group[id] = 0
 	return e
@@ -212,16 +247,32 @@ func (n *Network) SetDropRate(p float64) {
 	n.cfg.DropRate = p
 }
 
+// SetDupRate changes the duplicate-delivery probability.
+func (n *Network) SetDupRate(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cfg.DupRate = p
+}
+
+// SetFaultFilter installs (or, with nil, removes) a message-drop filter.
+// Filtered messages are lost exactly as probabilistic drops are: callers
+// time out, one-way sends vanish.
+func (n *Network) SetFaultFilter(f FaultFilter) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.filter = f
+}
+
 // CrashSite takes a site offline: its handlers stop running and messages
 // to it fail.  Watchers are notified with SiteDown.
 func (n *Network) CrashSite(id SiteID) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	e := n.sites[id]
-	if e == nil || !e.up {
+	if e == nil || !e.up.Load() {
 		return
 	}
-	e.up = false
+	e.up.Store(false)
 	n.notify(TopologyEvent{Kind: SiteDown, Sites: []SiteID{id}})
 }
 
@@ -231,10 +282,10 @@ func (n *Network) RestartSite(id SiteID) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	e := n.sites[id]
-	if e == nil || e.up {
+	if e == nil || e.up.Load() {
 		return
 	}
-	e.up = true
+	e.up.Store(true)
 	n.notify(TopologyEvent{Kind: SiteUp, Sites: []SiteID{id}})
 }
 
@@ -243,7 +294,7 @@ func (n *Network) SiteUp(id SiteID) bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	e := n.sites[id]
-	return e != nil && e.up
+	return e != nil && e.up.Load()
 }
 
 // Partition splits the network so that the given sites form their own
@@ -260,18 +311,51 @@ func (n *Network) Partition(minority ...SiteID) {
 	n.notify(TopologyEvent{Kind: Partitioned, Sites: append([]SiteID(nil), minority...)})
 }
 
-// Heal removes all partitions.  Watchers are notified with Healed.
+// BlockLink cuts the one-way link from -> to: messages in that direction
+// are lost while the reverse direction still works, modelling asymmetric
+// partitions (a failure mode symmetric Partition cannot express).
+// Watchers are notified with Partitioned, since the failure detector
+// reports any topology change (section 4.3).
+func (n *Network) BlockLink(from, to SiteID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	m := n.blocked[from]
+	if m == nil {
+		m = make(map[SiteID]bool)
+		n.blocked[from] = m
+	}
+	if m[to] {
+		return
+	}
+	m[to] = true
+	n.notify(TopologyEvent{Kind: Partitioned, Sites: []SiteID{from, to}})
+}
+
+// UnblockLink restores the one-way link from -> to.  Heal also clears all
+// link blocks.
+func (n *Network) UnblockLink(from, to SiteID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if m := n.blocked[from]; m != nil && m[to] {
+		delete(m, to)
+		n.notify(TopologyEvent{Kind: Healed, Sites: []SiteID{from, to}})
+	}
+}
+
+// Heal removes all partitions and one-way link blocks.  Watchers are
+// notified with Healed.
 func (n *Network) Heal() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	for id := range n.group {
 		n.group[id] = 0
 	}
+	n.blocked = make(map[SiteID]map[SiteID]bool)
 	n.notify(TopologyEvent{Kind: Healed})
 }
 
 // Reachable reports whether a message from a would currently reach b:
-// both sites up and in the same partition.
+// both sites up, in the same partition, and the a -> b link not blocked.
 func (n *Network) Reachable(a, b SiteID) bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -280,7 +364,10 @@ func (n *Network) Reachable(a, b SiteID) bool {
 
 func (n *Network) reachableLocked(a, b SiteID) bool {
 	ea, eb := n.sites[a], n.sites[b]
-	if ea == nil || eb == nil || !ea.up || !eb.up {
+	if ea == nil || eb == nil || !ea.up.Load() || !eb.up.Load() {
+		return false
+	}
+	if n.blocked[a][b] {
 		return false
 	}
 	return n.group[a] == n.group[b]
@@ -308,8 +395,11 @@ type Endpoint struct {
 	id  SiteID
 	net *Network
 
+	// up is atomic: the network flips it under its own mutex while
+	// handler dispatch checks it under the endpoint's.
+	up atomic.Bool
+
 	mu       sync.Mutex
-	up       bool
 	handlers map[string]Handler
 }
 
@@ -328,7 +418,7 @@ func (e *Endpoint) Handle(op string, h Handler) {
 func (e *Endpoint) handler(op string) (Handler, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if !e.up {
+	if !e.up.Load() {
 		return nil, ErrUnreachable
 	}
 	h, ok := e.handlers[op]
@@ -380,6 +470,15 @@ func (e *Endpoint) Call(to SiteID, op string, req any) (any, error) {
 	timeout := n.cfg.CallTimeout
 	dropReq := n.rng.Float64() < n.cfg.DropRate
 	dropResp := n.rng.Float64() < n.cfg.DropRate
+	dupReq := n.cfg.DupRate > 0 && n.rng.Float64() < n.cfg.DupRate
+	if n.filter != nil {
+		if n.filter(e.id, to, op) {
+			dropReq = true
+		}
+		if n.filter(to, e.id, op) {
+			dropResp = true
+		}
+	}
 	n.mu.Unlock()
 
 	n.st.Inc(stats.RPCs)
@@ -407,6 +506,13 @@ func (e *Endpoint) Call(to SiteID, op string, req any) (any, error) {
 		}
 		n.st.Add(stats.Instructions, costmodel.InstrMsgHandling)
 		resp, herr := h(e.id, req)
+		if dupReq {
+			// Duplicate delivery: the handler runs a second time with
+			// the same payload; only the first response is returned.
+			// Handlers must be idempotent (section 4.4).
+			n.st.Add(stats.Instructions, costmodel.InstrMsgHandling)
+			h(e.id, req) //nolint:errcheck // duplicate's result discarded
+		}
 
 		// Response leg.
 		n.st.Inc(stats.MsgsSent)
@@ -433,14 +539,48 @@ func (e *Endpoint) Call(to SiteID, op string, req any) (any, error) {
 	}
 }
 
-// CallRetry performs Call with up to attempts tries, retrying on timeouts
-// and unreachability.  Remote application errors are returned immediately.
+// backoff returns the pause before retry i (0-based): exponential from
+// RetryBase, capped at RetryCap, with seeded jitter in [d/2, d) so
+// simultaneous retriers decorrelate reproducibly.
+func (n *Network) backoff(i int) time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	d := n.cfg.RetryBase
+	for k := 0; k < i && d < n.cfg.RetryCap; k++ {
+		d *= 2
+	}
+	if d > n.cfg.RetryCap {
+		d = n.cfg.RetryCap
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(n.rng.Int63n(int64(half)))
+}
+
+func (n *Network) retryAttempts() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.cfg.RetryAttempts
+}
+
+// CallRetry performs Call with up to attempts tries (attempts <= 0 means
+// Config.RetryAttempts), retrying on timeouts and unreachability with
+// bounded exponential backoff and seeded jitter (Config.RetryBase /
+// RetryCap).  Remote application errors are returned immediately.
 // Handlers invoked through CallRetry must therefore be idempotent - the
 // paper leans on temporally-unique transaction IDs for exactly this
 // (section 4.4: duplicate commit or abort messages are harmless).
 func (e *Endpoint) CallRetry(to SiteID, op string, req any, attempts int) (any, error) {
+	if attempts <= 0 {
+		attempts = e.net.retryAttempts()
+	}
 	var err error
 	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(e.net.backoff(i - 1))
+		}
 		var resp any
 		resp, err = e.Call(to, op, req)
 		if err == nil {
@@ -472,6 +612,10 @@ func (e *Endpoint) Send(to SiteID, op string, req any) {
 	}
 	latency := n.cfg.Latency
 	drop := n.rng.Float64() < n.cfg.DropRate
+	dup := n.cfg.DupRate > 0 && n.rng.Float64() < n.cfg.DupRate
+	if n.filter != nil && n.filter(e.id, to, op) {
+		drop = true
+	}
 	n.mu.Unlock()
 
 	n.st.Inc(stats.MsgsSent)
@@ -491,5 +635,9 @@ func (e *Endpoint) Send(to SiteID, op string, req any) {
 		}
 		n.st.Add(stats.Instructions, costmodel.InstrMsgHandling)
 		h(e.id, req) //nolint:errcheck // one-way: result discarded
+		if dup {
+			n.st.Add(stats.Instructions, costmodel.InstrMsgHandling)
+			h(e.id, req) //nolint:errcheck // duplicate delivery; handlers are idempotent
+		}
 	}()
 }

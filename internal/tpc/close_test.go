@@ -1,0 +1,52 @@
+package tpc
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// TestCoordinatorCloseStopsRetryLoop verifies the retry-timer goroutine
+// started by NewCoordinator has a stop path: without Close every
+// coordinator with a RetryInterval leaked its ticker loop for the life
+// of the process.
+func TestCoordinatorCloseStopsRetryLoop(t *testing.T) {
+	const n = 8
+	base := runtime.NumGoroutine()
+
+	coords := make([]*Coordinator, 0, n)
+	for i := 0; i < n; i++ {
+		c := NewCoordinator(1, coordVolume(t), newFakeTransport(), stats.NewSet(),
+			Config{RetryInterval: time.Millisecond})
+		coords = append(coords, c)
+	}
+	waitGoroutines(t, func(g int) bool { return g >= base+n },
+		"retry loops never started")
+
+	for _, c := range coords {
+		c.Close()
+	}
+	waitGoroutines(t, func(g int) bool { return g <= base+1 },
+		"retry loops leaked after Close")
+
+	// Close is idempotent, and harmless on a coordinator without a timer.
+	coords[0].Close()
+	c := NewCoordinator(1, coordVolume(t), newFakeTransport(), stats.NewSet(), Config{})
+	c.Close()
+	c.Close()
+}
+
+func waitGoroutines(t *testing.T, ok func(int) bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if ok(runtime.NumGoroutine()) {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("%s (goroutines = %d)", msg, runtime.NumGoroutine())
+}

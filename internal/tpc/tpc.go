@@ -281,19 +281,33 @@ type Coordinator struct {
 	mu      sync.Mutex
 	pending map[string]*pendingTxn
 	done    map[string]Status // completed this incarnation (for StatusOf)
+
+	closeOnce sync.Once
+	closed    chan struct{} // stops retryLoop
 }
 
-// NewCoordinator creates a coordinator logging to vol.
+// NewCoordinator creates a coordinator logging to vol.  A coordinator
+// with a retry timer owns a goroutine; Close it when the site shuts down
+// or crashes.
 func NewCoordinator(site simnet.SiteID, vol *fs.Volume, tr Transport, st *stats.Set, cfg Config) *Coordinator {
 	c := &Coordinator{
 		site: site, vol: vol, tr: tr, st: st, cfg: cfg,
 		pending: make(map[string]*pendingTxn),
 		done:    make(map[string]Status),
+		closed:  make(chan struct{}),
 	}
 	if cfg.RetryInterval > 0 {
 		go c.retryLoop()
 	}
 	return c
+}
+
+// Close stops the phase-two retry timer.  It is idempotent and safe on a
+// coordinator created without one.  Pending phase-two work is not lost:
+// the coordinator log survives, and Recover (or a fresh coordinator's
+// RetryPending) re-drives it - exactly the crash path of section 4.4.
+func (c *Coordinator) Close() {
+	c.closeOnce.Do(func() { close(c.closed) })
 }
 
 // participants groups the file list by storage site.
@@ -478,8 +492,13 @@ func (c *Coordinator) RetryPending() {
 func (c *Coordinator) retryLoop() {
 	t := time.NewTicker(c.cfg.RetryInterval)
 	defer t.Stop()
-	for range t.C {
-		c.RetryPending()
+	for {
+		select {
+		case <-t.C:
+			c.RetryPending()
+		case <-c.closed:
+			return
+		}
 	}
 }
 

@@ -215,6 +215,7 @@ type Detector struct {
 
 	mu      sync.Mutex
 	stopped chan struct{}
+	done    chan struct{} // closed by the scan goroutine on exit
 }
 
 // Step performs one detection scan and returns the victims (after
@@ -251,9 +252,12 @@ func (d *Detector) Start(interval time.Duration) {
 		return
 	}
 	stop := make(chan struct{})
+	done := make(chan struct{})
 	d.stopped = stop
+	d.done = done
 	d.mu.Unlock()
 	go func() {
+		defer close(done)
 		t := time.NewTicker(interval)
 		defer t.Stop()
 		for {
@@ -261,18 +265,27 @@ func (d *Detector) Start(interval time.Duration) {
 			case <-stop:
 				return
 			case <-t.C:
+				select {
+				case <-stop:
+					return // stopped while the tick was pending
+				default:
+				}
 				d.Step()
 			}
 		}
 	}()
 }
 
-// Stop halts a running detector.  Safe to call when not started.
+// Stop halts a running detector and waits for its scan goroutine to
+// exit, so no Step runs after Stop returns.  Safe to call when not
+// started.
 func (d *Detector) Stop() {
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.stopped != nil {
-		close(d.stopped)
-		d.stopped = nil
+	stopped, done := d.stopped, d.done
+	d.stopped, d.done = nil, nil
+	d.mu.Unlock()
+	if stopped != nil {
+		close(stopped)
+		<-done
 	}
 }
