@@ -7,12 +7,16 @@
 //	locusbench                 # run every experiment
 //	locusbench -exp fig5       # one experiment: fig1 fig5 lock fig6
 //	                           # pagesize shadowlog preplog lockcache
-//	                           # replica prefetch fn7 recovery
+//	                           # replica prefetch fn7 recovery concurrent
+//	locusbench -concurrent     # just the group-commit throughput table
+//	locusbench -clients 16     # concurrent-mode client count
 //	locusbench -markdown       # emit Markdown tables (for EXPERIMENTS.md)
 //	locusbench -model modern   # re-run under a contemporary cost model
+//	locusbench -json out.json  # write the perf-tracking snapshot
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,9 +32,13 @@ import (
 )
 
 var (
-	expFlag  = flag.String("exp", "all", "experiment to run: all, fig1, fig5, lock, fig6, pagesize, shadowlog, preplog, lockcache, replica, prefetch, fn7, recovery")
-	markdown = flag.Bool("markdown", false, "emit Markdown tables")
-	model    = flag.String("model", "vax750", "cost model: vax750 (the paper's testbed) or modern")
+	expFlag    = flag.String("exp", "all", "experiment to run: all, fig1, fig5, lock, fig6, pagesize, shadowlog, preplog, lockcache, replica, prefetch, fn7, recovery, concurrent")
+	markdown   = flag.Bool("markdown", false, "emit Markdown tables")
+	model      = flag.String("model", "vax750", "cost model: vax750 (the paper's testbed) or modern")
+	concFlag   = flag.Bool("concurrent", false, "run only the concurrent-commit throughput experiment")
+	clients    = flag.Int("clients", 8, "client goroutines for the concurrent experiment")
+	txnsPerCl  = flag.Int("txns", 25, "transactions per client for the concurrent experiment")
+	jsonPath   = flag.String("json", "", "write a machine-readable benchmark snapshot (stable schema) to this path")
 )
 
 func main() {
@@ -44,6 +52,21 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown model %q (want vax750 or modern)"+"\n", *model)
 		os.Exit(2)
+	}
+	if *jsonPath != "" {
+		if err := writeSnapshot(*jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *jsonPath)
+		return
+	}
+	if *concFlag {
+		if err := concurrent(); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	exps := map[string]func() error{
 		"fig1":        fig1,
@@ -59,8 +82,9 @@ func main() {
 		"fn7":         fn7,
 		"granularity": granularity,
 		"recovery":    recovery,
+		"concurrent":  concurrent,
 	}
-	order := []string{"fig1", "fig5", "lock", "fig6", "pagesize", "shadowlog", "preplog", "lockcache", "replica", "prefetch", "fn7", "granularity", "recovery"}
+	order := []string{"fig1", "fig5", "lock", "fig6", "pagesize", "shadowlog", "preplog", "lockcache", "replica", "prefetch", "fn7", "granularity", "recovery", "concurrent"}
 	if *expFlag != "all" {
 		fn, ok := exps[*expFlag]
 		if !ok {
@@ -402,6 +426,99 @@ func granularity() error {
 	fmt.Println("paper:  whole file locking restricts concurrent access; record locking was")
 	fmt.Println("        the new facility's motivation for database workloads")
 	return nil
+}
+
+func concurrent() error {
+	rows, err := bench.ConcurrentCommitPair(*clients, *txnsPerCl)
+	if err != nil {
+		return err
+	}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Case,
+			fmt.Sprintf("%d", r.Committed),
+			fmt.Sprintf("%.0f", r.TxnsPerSec),
+			fmt.Sprintf("%.1fms", float64(r.P50.Microseconds())/1000),
+			fmt.Sprintf("%.1fms", float64(r.P99.Microseconds())/1000),
+			fmt.Sprintf("%.2f", r.ForcedPerTxn),
+			fmt.Sprintf("%d", r.DiskWrites),
+		})
+	}
+	table(fmt.Sprintf("Group commit: concurrent transfer throughput (%d clients x %d txns)", *clients, *txnsPerCl),
+		[]string{"case", "committed", "txns/sec", "p50", "p99", "forced IOs/txn", "page writes"}, out)
+	if rows[0].TxnsPerSec > 0 {
+		fmt.Printf("speedup: %.2fx committed-txns/sec; per-page write counts identical, so the\n", rows[1].TxnsPerSec/rows[0].TxnsPerSec)
+		fmt.Println("Figure 5 I/O tables reproduce unchanged (batching only merges sync forces)")
+	}
+	return nil
+}
+
+// snapshot is the stable -json schema ("locusbench/v1").  Fields are
+// append-only: future PRs may add keys but must not rename or remove
+// these, so perf trajectories stay comparable across snapshots.
+type snapshot struct {
+	Schema     string           `json:"schema"`
+	Model      string           `json:"model"`
+	Fig5       []snapFig5       `json:"fig5"`
+	Concurrent []snapConcurrent `json:"concurrent"`
+}
+
+type snapFig5 struct {
+	Case       string `json:"case"`
+	DoubleLog  bool   `json:"footnote9_double_log"`
+	ProtocolIO int64  `json:"protocol_ios_per_txn"`
+}
+
+type snapConcurrent struct {
+	Case          string  `json:"case"`
+	Clients       int     `json:"clients"`
+	TxnsPerClient int     `json:"txns_per_client"`
+	Committed     int64   `json:"committed"`
+	TxnsPerSec    float64 `json:"txns_per_sec"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	ForcedPerTxn  float64 `json:"forced_ios_per_txn"`
+	Batches       int64   `json:"group_commit_batches"`
+	BatchRecords  int64   `json:"group_commit_records"`
+	DiskWrites    int64   `json:"disk_writes"`
+}
+
+func writeSnapshot(path string) error {
+	snap := snapshot{Schema: "locusbench/v1", Model: *model}
+	for _, double := range []bool{false, true} {
+		rows, err := bench.Fig5(double)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			snap.Fig5 = append(snap.Fig5, snapFig5{Case: r.Case, DoubleLog: double, ProtocolIO: r.Total})
+		}
+	}
+	rows, err := bench.ConcurrentCommitPair(*clients, *txnsPerCl)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		snap.Concurrent = append(snap.Concurrent, snapConcurrent{
+			Case:          r.Case,
+			Clients:       r.Clients,
+			TxnsPerClient: r.TxnsPerCl,
+			Committed:     r.Committed,
+			TxnsPerSec:    r.TxnsPerSec,
+			P50Ms:         float64(r.P50.Microseconds()) / 1000,
+			P99Ms:         float64(r.P99.Microseconds()) / 1000,
+			ForcedPerTxn:  r.ForcedPerTxn,
+			Batches:       r.Batches,
+			BatchRecords:  r.BatchRecords,
+			DiskWrites:    r.DiskWrites,
+		})
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func recovery() error {

@@ -39,6 +39,7 @@ var (
 	sweep    = flag.Int("sweep", 0, "run seeds seed..seed+N-1 instead of a single run")
 	stats    = flag.Bool("stats", false, "append nondeterministic commit/abort counts to the report")
 	verbose  = flag.Bool("v", false, "log faults and recovery progress as they happen")
+	groupc   = flag.Duration("groupcommit", 0, "enable the group-commit log daemon with this max batching delay (0 = synchronous log forces)")
 )
 
 func main() {
@@ -59,11 +60,12 @@ func main() {
 	}
 
 	opts := chaos.Options{
-		Duration: *duration,
-		Sites:    *sites,
-		Workers:  *workers,
-		Faults:   set,
-		Schedule: sched,
+		Duration:    *duration,
+		Sites:       *sites,
+		Workers:     *workers,
+		Faults:      set,
+		Schedule:    sched,
+		GroupCommit: *groupc,
 	}
 	if *verbose {
 		opts.Logf = func(format string, args ...any) {

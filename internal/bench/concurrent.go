@@ -1,0 +1,207 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Defaults for the concurrent-commit experiment.  The sync delay gives
+// every forced disk I/O a simulated seek+sync cost (serialized at the
+// disk, like one spindle), which is what makes the log force the
+// bottleneck the paper's section 5 describes; the group-commit delay is
+// how long a log record waits for companions.
+const (
+	// DefaultDiskSyncDelay approximates one rotation of a 3600-rpm disk
+	// at half stroke - the paper's 1985-era seek+sync charge.
+	DefaultDiskSyncDelay = 300 * time.Microsecond
+	// DefaultGroupCommitDelay matches the sync cost: a record waits at
+	// most one disk force for companions, so batching can never more
+	// than double a lone record's latency while a full batch divides
+	// the force count by its size.
+	DefaultGroupCommitDelay = 300 * time.Microsecond
+)
+
+// ConcurrentRow is one mode of the concurrent-commit throughput
+// experiment: N client goroutines driving disjoint two-account transfer
+// transactions against one accounts file at one storage site.
+type ConcurrentRow struct {
+	Case         string // "group-commit off" / "group-commit on"
+	Clients      int
+	TxnsPerCl    int
+	Committed    int64
+	Aborted      int64
+	Wall         time.Duration
+	TxnsPerSec   float64
+	P50          time.Duration // per-transaction wall latency
+	P99          time.Duration
+	ForcedIOs    int64   // synchronous disk forces during the run
+	ForcedPerTxn float64 // forces per committed transaction
+	Batches      int64   // group-commit flushes issued
+	BatchRecords int64   // log records carried by those flushes
+	DiskWrites   int64   // per-page writes (identical in both modes)
+}
+
+// ConcurrentCommit runs the transfer workload once.  groupCommit toggles
+// the log batching daemon; everything else - workload, sync delay, page
+// writes - is identical, so the two rows isolate the batching win.
+func ConcurrentCommit(clients, txnsPerClient int, groupCommit bool) (ConcurrentRow, error) {
+	cfg := cluster.Config{
+		SyncPhase2:    true,
+		DiskSyncDelay: DefaultDiskSyncDelay,
+	}
+	if groupCommit {
+		cfg.GroupCommitMaxDelay = DefaultGroupCommitDelay
+	}
+	sys := core.NewSystem(cfg)
+	sys.AddSite(1)
+	if err := sys.AddVolume(1, "bank"); err != nil {
+		return ConcurrentRow{}, err
+	}
+	defer sys.Cluster().Shutdown()
+
+	setup, err := sys.NewProcess(1)
+	if err != nil {
+		return ConcurrentRow{}, err
+	}
+	f, err := setup.Create("bank/accounts")
+	if err != nil {
+		return ConcurrentRow{}, err
+	}
+	// One page per client: the two accounts a client transfers between
+	// share its page, and no page is shared across clients, so every
+	// transaction flushes exactly one data page and the differencing
+	// paths never fire.  The log force is the only shared resource.
+	const pageSize = 1024
+	if _, err := f.WriteAt(make([]byte, clients*pageSize), 0); err != nil {
+		return ConcurrentRow{}, err
+	}
+	if err := f.Sync(); err != nil {
+		return ConcurrentRow{}, err
+	}
+
+	before := sys.Stats().Snapshot()
+	var committed, aborted atomic.Int64
+	lats := make([][]time.Duration, clients)
+	errs := make([]error, clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			p, err := sys.NewProcess(1)
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			file, err := p.Open("bank/accounts")
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			from := int64(c) * pageSize
+			to := from + 8
+			lats[c] = make([]time.Duration, 0, txnsPerClient)
+			for i := 0; i < txnsPerClient; i++ {
+				t0 := time.Now()
+				if _, err := p.BeginTrans(); err != nil {
+					errs[c] = err
+					return
+				}
+				ok := true
+				for _, acct := range []int64{from, to} {
+					if err := file.LockRange(acct, 8, core.Exclusive); err != nil {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					if _, err := file.WriteAt([]byte(fmt.Sprintf("%08d", i)), from); err != nil {
+						ok = false
+					}
+				}
+				if ok {
+					if _, err := file.WriteAt([]byte(fmt.Sprintf("%08d", i)), to); err != nil {
+						ok = false
+					}
+				}
+				if !ok {
+					p.AbortTrans() //nolint:errcheck
+					aborted.Add(1)
+					continue
+				}
+				if err := p.EndTrans(); err != nil {
+					aborted.Add(1)
+					continue
+				}
+				committed.Add(1)
+				lats[c] = append(lats[c], time.Since(t0))
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return ConcurrentRow{}, err
+		}
+	}
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) time.Duration {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return all[i]
+	}
+
+	d := sys.Stats().Snapshot().Sub(before)
+	row := ConcurrentRow{
+		Case:         "group-commit off",
+		Clients:      clients,
+		TxnsPerCl:    txnsPerClient,
+		Committed:    committed.Load(),
+		Aborted:      aborted.Load(),
+		Wall:         wall,
+		P50:          pct(0.50),
+		P99:          pct(0.99),
+		ForcedIOs:    d.Get(stats.ForcedIOs),
+		Batches:      d.Get(stats.GroupCommitBatches),
+		BatchRecords: d.Get(stats.GroupCommitRecords),
+		DiskWrites:   d.Get(stats.DiskWrites),
+	}
+	if groupCommit {
+		row.Case = "group-commit on"
+	}
+	if row.Committed > 0 {
+		row.TxnsPerSec = float64(row.Committed) / wall.Seconds()
+		row.ForcedPerTxn = float64(row.ForcedIOs) / float64(row.Committed)
+	}
+	return row, nil
+}
+
+// ConcurrentCommitPair runs the workload with group commit off then on
+// and returns both rows (the locusbench -concurrent table).
+func ConcurrentCommitPair(clients, txnsPerClient int) ([]ConcurrentRow, error) {
+	off, err := ConcurrentCommit(clients, txnsPerClient, false)
+	if err != nil {
+		return nil, err
+	}
+	on, err := ConcurrentCommit(clients, txnsPerClient, true)
+	if err != nil {
+		return nil, err
+	}
+	return []ConcurrentRow{off, on}, nil
+}

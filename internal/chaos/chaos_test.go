@@ -83,6 +83,27 @@ func TestRunShort(t *testing.T) {
 	t.Logf("\n%s", res.Report(true))
 }
 
+// TestRunShortGroupCommit reruns the smoke schedule with the log-batching
+// daemon on every volume: crashes now land between a batch's page writes,
+// so the section 5 audit additionally proves a torn batch loses whole
+// records (pairs stay all-or-nothing) rather than corrupting the log.
+func TestRunShortGroupCommit(t *testing.T) {
+	res, err := Run(Options{
+		Seed:        1,
+		Duration:    600 * time.Millisecond,
+		Sites:       3,
+		Workers:     4,
+		GroupCommit: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("invariant violations with group commit:\n%s", res.Report(true))
+	}
+	t.Logf("\n%s", res.Report(true))
+}
+
 // TestReportReproducible runs the same seed twice and demands the exact
 // same deterministic report - the property that makes a failure's
 // "replay: locuschaos -seed N" line trustworthy.

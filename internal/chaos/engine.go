@@ -23,6 +23,11 @@ type Options struct {
 	Faults   FaultSet                         // kinds GenSchedule may draw (default all)
 	Schedule Schedule                         // explicit schedule; overrides generation
 	Logf     func(format string, args ...any) // live fault/progress log (nil = silent)
+	// GroupCommit enables the log-batching daemon on every volume, so
+	// crashes land mid-batch and the audit checks that a torn batch
+	// loses whole records, never partial ones.  Zero keeps the paper's
+	// synchronous one-force-per-record behavior.
+	GroupCommit time.Duration
 }
 
 const (
@@ -177,8 +182,9 @@ func Run(opts Options) (*Result, error) {
 	// that is the configuration where lost commit messages, coordinator
 	// crashes and the retry path all genuinely interleave.
 	e.sys = core.NewSystem(cluster.Config{
-		RetryInterval:   10 * time.Millisecond,
-		LockWaitTimeout: 75 * time.Millisecond,
+		RetryInterval:       10 * time.Millisecond,
+		LockWaitTimeout:     75 * time.Millisecond,
+		GroupCommitMaxDelay: opts.GroupCommit,
 		Net: simnet.Config{
 			CallTimeout: 60 * time.Millisecond,
 			Seed:        opts.Seed,

@@ -88,6 +88,7 @@ func (s *Site) Restart() error {
 			return fmt.Errorf("cluster: reload %q: %w", vs.name, err)
 		}
 		vol.DoubleLogWrite = s.cl.cfg.DoubleLogWrites
+		vol.Log().StartGroupCommit(s.cl.cfg.groupCommit())
 		vs.vol = vol
 		if err := tpc.PinPreparedPages(vol); err != nil {
 			return err

@@ -137,7 +137,12 @@ type Volume struct {
 // goroutines from before the crash (a coordinator finishing phase two, a
 // shadow-file commit) cannot write through stale allocator or log state
 // and corrupt the reloaded image.
-func (v *Volume) Invalidate() { v.stale.Store(true) }
+func (v *Volume) Invalidate() {
+	v.stale.Store(true)
+	if v.log != nil {
+		v.log.StopGroupCommit()
+	}
+}
 
 // staleErr returns ErrStaleVolume once the handle has been invalidated.
 func (v *Volume) staleErr() error {

@@ -1,0 +1,172 @@
+package fs
+
+import (
+	"sync"
+	"time"
+)
+
+// GroupCommitConfig tunes the LogStore's group-commit daemon.
+//
+// The daemon implements the classic group-commit optimisation (Gray):
+// while one batched flush is in flight, every Put/Delete that arrives
+// queues behind it, and the next flush carries them all in one vectored
+// disk write - one forced I/O (seek + sync) for the whole batch, at the
+// cost of each record waiting up to MaxDelay for companions.  Per-page
+// write counts are unchanged, so the paper's Figure 5 I/O tables
+// reproduce identically with the daemon on or off; only ForcedIOs and
+// simulated latency shrink.
+type GroupCommitConfig struct {
+	// MaxBatch caps how many records ride one flush.  Zero or negative
+	// means DefaultGroupCommitMaxBatch.
+	MaxBatch int
+
+	// MaxDelay is how long the daemon waits for companion records before
+	// flushing a non-full batch.  Zero disables group commit entirely:
+	// the store degrades to the paper's synchronous per-record writes.
+	MaxDelay time.Duration
+}
+
+// DefaultGroupCommitMaxBatch is used when GroupCommitConfig.MaxBatch is
+// unset.
+const DefaultGroupCommitMaxBatch = 64
+
+func (c GroupCommitConfig) enabled() bool { return c.MaxDelay > 0 }
+
+func (c GroupCommitConfig) maxBatch() int {
+	if c.MaxBatch > 0 {
+		return c.MaxBatch
+	}
+	return DefaultGroupCommitMaxBatch
+}
+
+// logReq is one queued Put (or Delete, when del is set) awaiting a
+// batched flush.  done receives the record's outcome exactly once.
+type logReq struct {
+	del     bool
+	key     string
+	kind    LogKind
+	payload []byte
+	done    chan error
+}
+
+// groupCommitter is the batching daemon.  Callers enqueue via submit and
+// block on their request's done channel; the run loop drains the queue in
+// MaxBatch-sized slices and hands each slice to LogStore.flushBatch.
+type groupCommitter struct {
+	ls  *LogStore
+	cfg GroupCommitConfig
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*logReq
+	stopped bool
+
+	exited chan struct{}
+}
+
+func newGroupCommitter(ls *LogStore, cfg GroupCommitConfig) *groupCommitter {
+	gc := &groupCommitter{ls: ls, cfg: cfg, exited: make(chan struct{})}
+	gc.cond = sync.NewCond(&gc.mu)
+	go gc.run()
+	return gc
+}
+
+// submit enqueues the request and blocks until its flush completes.
+// handled is false when the daemon had already stopped, in which case the
+// caller must fall back to the synchronous path.
+func (gc *groupCommitter) submit(r *logReq) (err error, handled bool) {
+	gc.mu.Lock()
+	if gc.stopped {
+		gc.mu.Unlock()
+		return nil, false
+	}
+	r.done = make(chan error, 1)
+	gc.queue = append(gc.queue, r)
+	gc.cond.Signal()
+	gc.mu.Unlock()
+	return <-r.done, true
+}
+
+func (gc *groupCommitter) run() {
+	defer close(gc.exited)
+	for {
+		gc.mu.Lock()
+		for len(gc.queue) == 0 && !gc.stopped {
+			gc.cond.Wait()
+		}
+		if len(gc.queue) == 0 && gc.stopped {
+			gc.mu.Unlock()
+			return
+		}
+		if len(gc.queue) < gc.cfg.maxBatch() && !gc.stopped {
+			// A flush just finished (or the queue just went non-empty):
+			// linger briefly so records arriving now share this force.
+			gc.mu.Unlock()
+			time.Sleep(gc.cfg.MaxDelay)
+			gc.mu.Lock()
+		}
+		n := len(gc.queue)
+		if max := gc.cfg.maxBatch(); n > max {
+			n = max
+		}
+		batch := make([]*logReq, n)
+		copy(batch, gc.queue)
+		gc.queue = append(gc.queue[:0], gc.queue[n:]...)
+		gc.mu.Unlock()
+
+		gc.ls.flushBatch(batch)
+	}
+}
+
+// stop shuts the daemon down, flushing any queued records first, and
+// waits for the run loop to exit.  After stop returns, submit reports
+// handled == false.
+func (gc *groupCommitter) stop() {
+	gc.mu.Lock()
+	if gc.stopped {
+		gc.mu.Unlock()
+		<-gc.exited
+		return
+	}
+	gc.stopped = true
+	gc.cond.Broadcast()
+	gc.mu.Unlock()
+	<-gc.exited
+}
+
+// StartGroupCommit attaches a group-commit daemon to the store.  With
+// cfg.MaxDelay == 0 it is a no-op: the store keeps the paper's
+// synchronous per-record behaviour.  Starting replaces (and stops) any
+// existing daemon.
+func (l *LogStore) StartGroupCommit(cfg GroupCommitConfig) {
+	l.gcMu.Lock()
+	old := l.gc
+	if cfg.enabled() {
+		l.gc = newGroupCommitter(l, cfg)
+	} else {
+		l.gc = nil
+	}
+	l.gcMu.Unlock()
+	if old != nil {
+		old.stop()
+	}
+}
+
+// StopGroupCommit detaches and stops the daemon, draining its queue.
+// Safe to call when no daemon is attached.
+func (l *LogStore) StopGroupCommit() {
+	l.gcMu.Lock()
+	old := l.gc
+	l.gc = nil
+	l.gcMu.Unlock()
+	if old != nil {
+		old.stop()
+	}
+}
+
+// committer returns the attached daemon, or nil.
+func (l *LogStore) committer() *groupCommitter {
+	l.gcMu.Lock()
+	defer l.gcMu.Unlock()
+	return l.gc
+}

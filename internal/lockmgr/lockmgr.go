@@ -568,28 +568,59 @@ func (fl *FileLocks) QueueLength() int {
 	return len(fl.queue)
 }
 
-// Manager is a storage site's collection of per-file lock lists.
-type Manager struct {
-	st *stats.Set
+// numShards divides the Manager's file table so that unrelated files'
+// lookups do not contend on one map mutex under concurrent transaction
+// load.  Per-file serialization stays in FileLocks.mu; the shard mutex
+// guards only the id -> FileLocks map itself, so the shard count trades
+// memory for lookup parallelism and 32 is plenty for a single site.
+const numShards = 32
 
+// lockShard is one slice of the Manager's file table.
+type lockShard struct {
 	mu    sync.Mutex
 	files map[string]*FileLocks
 }
 
+// Manager is a storage site's collection of per-file lock lists, sharded
+// by file id.
+type Manager struct {
+	st     *stats.Set
+	shards [numShards]lockShard
+}
+
 // NewManager creates an empty lock manager.
 func NewManager(st *stats.Set) *Manager {
-	return &Manager{st: st, files: make(map[string]*FileLocks)}
+	m := &Manager{st: st}
+	for i := range m.shards {
+		m.shards[i].files = make(map[string]*FileLocks)
+	}
+	return m
+}
+
+// shard maps a file id to its table slice (FNV-1a).
+func (m *Manager) shard(id string) *lockShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	return &m.shards[h%numShards]
 }
 
 // File returns (creating if needed) the lock list for the file.  sizeFn
 // is installed only on creation.
 func (m *Manager) File(id string, sizeFn func() int64) *FileLocks {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	fl, ok := m.files[id]
+	s := m.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fl, ok := s.files[id]
 	if !ok {
 		fl = NewFileLocks(id, sizeFn, m.st)
-		m.files[id] = fl
+		s.files[id] = fl
 	}
 	return fl
 }
@@ -597,11 +628,14 @@ func (m *Manager) File(id string, sizeFn func() int64) *FileLocks {
 // Files returns the ids of every file with lock state, sorted.  Audit
 // tools walk this to scan the whole lock table for conflicts.
 func (m *Manager) Files() []string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]string, 0, len(m.files))
-	for id := range m.files {
-		out = append(out, id)
+	var out []string
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		for id := range s.files {
+			out = append(out, id)
+		}
+		s.mu.Unlock()
 	}
 	sort.Strings(out)
 	return out
@@ -609,28 +643,38 @@ func (m *Manager) Files() []string {
 
 // Lookup returns the lock list for the file, or nil.
 func (m *Manager) Lookup(id string) *FileLocks {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.files[id]
+	s := m.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.files[id]
 }
 
 // Drop removes a file's lock list (file closed everywhere).
 func (m *Manager) Drop(id string) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	delete(m.files, id)
+	s := m.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.files, id)
+}
+
+// all snapshots every lock list across the shards.
+func (m *Manager) all() []*FileLocks {
+	var files []*FileLocks
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		for _, fl := range s.files {
+			files = append(files, fl)
+		}
+		s.mu.Unlock()
+	}
+	return files
 }
 
 // ReleaseGroup releases the group's locks on every file and cancels its
 // queued requests.
 func (m *Manager) ReleaseGroup(group string) {
-	m.mu.Lock()
-	files := make([]*FileLocks, 0, len(m.files))
-	for _, fl := range m.files {
-		files = append(files, fl)
-	}
-	m.mu.Unlock()
-	for _, fl := range files {
+	for _, fl := range m.all() {
 		fl.CancelWaiters(group)
 		fl.ReleaseGroup(group)
 	}
@@ -638,14 +682,8 @@ func (m *Manager) ReleaseGroup(group string) {
 
 // WaitEdges aggregates the wait-for edges across all files at this site.
 func (m *Manager) WaitEdges() []WaitEdge {
-	m.mu.Lock()
-	files := make([]*FileLocks, 0, len(m.files))
-	for _, fl := range m.files {
-		files = append(files, fl)
-	}
-	m.mu.Unlock()
 	var out []WaitEdge
-	for _, fl := range files {
+	for _, fl := range m.all() {
 		out = append(out, fl.WaitEdges()...)
 	}
 	sort.Slice(out, func(i, j int) bool {

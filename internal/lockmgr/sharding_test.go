@@ -1,0 +1,130 @@
+package lockmgr
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+func TestManagerShardingStableIdentity(t *testing.T) {
+	// File must return the same FileLocks for the same id forever, no
+	// matter which shard it hashes to, and Files/Lookup/Drop must see
+	// every id across shards.
+	m := NewManager(stats.NewSet())
+	const n = 200
+	first := make(map[string]*FileLocks, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("vol%d/file%d", i%3, i)
+		first[id] = m.File(id, nil)
+	}
+	for id, fl := range first {
+		if got := m.File(id, nil); got != fl {
+			t.Fatalf("File(%q) returned a different instance", id)
+		}
+		if got := m.Lookup(id); got != fl {
+			t.Fatalf("Lookup(%q) returned a different instance", id)
+		}
+	}
+	files := m.Files()
+	if len(files) != n {
+		t.Fatalf("Files() = %d ids, want %d", len(files), n)
+	}
+	for i := 1; i < len(files); i++ {
+		if files[i-1] >= files[i] {
+			t.Fatalf("Files() not sorted: %q >= %q", files[i-1], files[i])
+		}
+	}
+	m.Drop(files[0])
+	if m.Lookup(files[0]) != nil {
+		t.Fatalf("Lookup after Drop(%q) != nil", files[0])
+	}
+	if len(m.Files()) != n-1 {
+		t.Fatalf("Files() after Drop = %d, want %d", len(m.Files()), n-1)
+	}
+}
+
+func TestManagerShardedConcurrentAccess(t *testing.T) {
+	// Hammer the sharded table from many goroutines (run with -race).
+	// Every goroutine locks ranges on its own files plus one shared file,
+	// so both the map shards and a single FileLocks see contention.
+	m := NewManager(stats.NewSet())
+	const workers, filesPerWorker = 8, 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := Holder{PID: 100 + w, Txn: fmt.Sprintf("T%d", w)}
+			for i := 0; i < filesPerWorker; i++ {
+				fl := m.File(fmt.Sprintf("vol0/w%d-f%d", w, i), nil)
+				if _, err := fl.Lock(Request{Holder: h, Mode: ModeExclusive, Off: 0, Len: 8}); err != nil {
+					t.Errorf("own-file lock: %v", err)
+					return
+				}
+				shared := m.File("vol0/shared", nil)
+				// Disjoint ranges on the shared file never conflict.
+				if _, err := shared.Lock(Request{Holder: h, Mode: ModeExclusive, Off: int64(w) * 100, Len: 8}); err != nil {
+					t.Errorf("shared-file lock: %v", err)
+					return
+				}
+				if m.Lookup("vol0/shared") == nil {
+					t.Error("Lookup(shared) = nil")
+					return
+				}
+			}
+			m.ReleaseGroup(h.Group())
+		}(w)
+	}
+	wg.Wait()
+	if got := len(m.WaitEdges()); got != 0 {
+		t.Fatalf("WaitEdges after release = %d, want 0", got)
+	}
+}
+
+func TestPumpQueueFIFOFairnessChain(t *testing.T) {
+	// Regression for pumpQueueLocked: five exclusive waiters queued in a
+	// known order must be granted strictly in that order as each
+	// predecessor releases - no waiter may be starved or overtaken by a
+	// later arrival of the same mode.
+	fl := fileLocks(100)
+	holder := Holder{PID: 1, Txn: "T-holder"}
+	mustLock(t, fl, holder, ModeExclusive, 0, 10)
+
+	const n = 5
+	order := make(chan int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		w := Holder{PID: 50 + i, Txn: fmt.Sprintf("T-w%d", i)}
+		wg.Add(1)
+		go func(i int, w Holder) {
+			defer wg.Done()
+			if _, err := fl.Lock(Request{Holder: w, Mode: ModeExclusive, Off: 0, Len: 10, Wait: true}); err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			order <- i
+			fl.ReleaseGroup(w.Group())
+		}(i, w)
+		// Pin the arrival order before starting the next waiter.
+		for fl.QueueLength() <= i {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+
+	fl.ReleaseGroup(holder.Group())
+	wg.Wait()
+	close(order)
+	i := 0
+	for got := range order {
+		if got != i {
+			t.Fatalf("grant %d went to waiter %d; want FIFO order", i, got)
+		}
+		i++
+	}
+	if i != n {
+		t.Fatalf("granted %d waiters, want %d", i, n)
+	}
+}

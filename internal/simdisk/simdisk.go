@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/stats"
 )
@@ -100,6 +101,20 @@ type Disk struct {
 	volatile map[int][]byte // async writes not yet flushed
 	crashed  bool
 
+	// syncDelay is the simulated cost of one forced I/O (seek + sync).
+	// It is paid once per synchronous call - a WritePages batch pays it
+	// once no matter how many pages it carries - while d.mu is held, so
+	// one spindle serializes exactly as real hardware would.  Zero (the
+	// default) keeps the disk instantaneous for the paper's
+	// operation-counting benchmarks.
+	syncDelay time.Duration
+
+	// crashAfter, when >= 0, crashes the disk after that many more
+	// stable page writes land (the write that would exceed the budget
+	// fails with ErrCrashed).  Crash-correctness tests use it to tear a
+	// vectored batch mid-flush.
+	crashAfter int
+
 	st *stats.Set
 }
 
@@ -110,12 +125,30 @@ func New(name string, numPages, pageSize int, st *stats.Set) *Disk {
 		panic("simdisk: non-positive geometry")
 	}
 	return &Disk{
-		name:     name,
-		pageSize: pageSize,
-		stable:   make([][]byte, numPages),
-		volatile: make(map[int][]byte),
-		st:       st,
+		name:       name,
+		pageSize:   pageSize,
+		stable:     make([][]byte, numPages),
+		volatile:   make(map[int][]byte),
+		crashAfter: -1,
+		st:         st,
 	}
+}
+
+// SetSyncDelay installs the simulated per-forced-I/O latency.  Zero
+// restores the instantaneous (operation-counting) behaviour.
+func (d *Disk) SetSyncDelay(delay time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.syncDelay = delay
+}
+
+// CrashAfterWrites arms a deterministic fault: n more stable page writes
+// succeed, then the disk crashes and the write in progress (and everything
+// after it) fails with ErrCrashed.  Pass a negative n to disarm.
+func (d *Disk) CrashAfterWrites(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.crashAfter = n
 }
 
 // Name returns the disk's name.
@@ -178,9 +211,9 @@ func (d *Disk) ReadStable(page int, kind IOKind) ([]byte, error) {
 }
 
 // WritePage writes data to the page.  If sync is true the write reaches
-// stable storage immediately and is charged as one disk write; otherwise
-// it lands in the volatile layer and the disk write is charged when it is
-// flushed.
+// stable storage immediately, is charged as one disk write and one forced
+// I/O, and pays the sync delay; otherwise it lands in the volatile layer
+// and the disk write is charged when it is flushed.
 func (d *Disk) WritePage(page int, data []byte, kind IOKind, sync bool) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -190,15 +223,83 @@ func (d *Disk) WritePage(page int, data []byte, kind IOKind, sync bool) error {
 	if len(data) != d.pageSize {
 		return fmt.Errorf("%w: got %d want %d on %s page %d", ErrBadSize, len(data), d.pageSize, d.name, page)
 	}
+	if !sync {
+		buf := make([]byte, d.pageSize)
+		copy(buf, data)
+		d.volatile[page] = buf
+		return nil
+	}
+	d.force()
+	return d.writeStableLocked(page, data, kind)
+}
+
+// PageWrite is one page of a vectored synchronous write.
+type PageWrite struct {
+	Page int
+	Data []byte
+	Kind IOKind
+}
+
+// WritePages applies the writes to stable storage in order, as a single
+// forced I/O: every page is still charged as one disk write of its kind
+// (the per-page transfer cost is real), but the batch pays the seek+sync
+// cost - the ForcedIOs charge and the sync delay - exactly once.  This is
+// the primitive group commit builds on.
+//
+// The batch is atomic with respect to a concurrent Crash (the disk mutex
+// is held throughout), but an armed CrashAfterWrites fault can tear it:
+// pages are then written strictly in slice order and the remainder is
+// lost, so callers ordering continuation pages before their header never
+// expose a partial record.
+func (d *Disk) WritePages(writes []PageWrite) error {
+	if len(writes) == 0 {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, w := range writes {
+		if err := d.check(w.Page); err != nil {
+			return err
+		}
+		if len(w.Data) != d.pageSize {
+			return fmt.Errorf("%w: got %d want %d on %s page %d", ErrBadSize, len(w.Data), d.pageSize, d.name, w.Page)
+		}
+	}
+	d.force()
+	for _, w := range writes {
+		if err := d.writeStableLocked(w.Page, w.Data, w.Kind); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// force charges one forced I/O and pays the sync delay.  Caller holds
+// d.mu, so the delay serializes all disk traffic like a single spindle.
+func (d *Disk) force() {
+	d.st.Inc(stats.ForcedIOs)
+	if d.syncDelay > 0 {
+		time.Sleep(d.syncDelay)
+	}
+}
+
+// writeStableLocked lands one page on stable storage, stepping the armed
+// crash fault first.  Caller holds d.mu and has validated page and size.
+func (d *Disk) writeStableLocked(page int, data []byte, kind IOKind) error {
+	if d.crashAfter == 0 {
+		d.crashAfter = -1
+		d.volatile = make(map[int][]byte)
+		d.crashed = true
+		return ErrCrashed
+	}
+	if d.crashAfter > 0 {
+		d.crashAfter--
+	}
 	buf := make([]byte, d.pageSize)
 	copy(buf, data)
-	if sync {
-		d.stable[page] = buf
-		delete(d.volatile, page)
-		d.chargeWrite(kind)
-	} else {
-		d.volatile[page] = buf
-	}
+	d.stable[page] = buf
+	delete(d.volatile, page)
+	d.chargeWrite(kind)
 	return nil
 }
 
@@ -220,9 +321,10 @@ func (d *Disk) FlushPage(page int, kind IOKind) error {
 		return err
 	}
 	if v, ok := d.volatile[page]; ok {
-		d.stable[page] = v
-		delete(d.volatile, page)
-		d.chargeWrite(kind)
+		d.force()
+		if err := d.writeStableLocked(page, v, kind); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -235,11 +337,15 @@ func (d *Disk) Flush() (int, error) {
 	if d.crashed {
 		return 0, ErrCrashed
 	}
+	if len(d.volatile) == 0 {
+		return 0, nil
+	}
+	d.force()
 	n := 0
 	for page, v := range d.volatile {
-		d.stable[page] = v
-		delete(d.volatile, page)
-		d.chargeWrite(IOData)
+		if err := d.writeStableLocked(page, v, IOData); err != nil {
+			return n, err
+		}
 		n++
 	}
 	return n, nil
@@ -262,12 +368,13 @@ func (d *Disk) Crash() {
 	d.crashed = true
 }
 
-// Restart brings a crashed disk back online.  Restarting a healthy disk is
-// a no-op.
+// Restart brings a crashed disk back online and disarms any pending
+// CrashAfterWrites fault.  Restarting a healthy disk is a no-op.
 func (d *Disk) Restart() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.crashed = false
+	d.crashAfter = -1
 }
 
 // Crashed reports whether the disk is currently offline.

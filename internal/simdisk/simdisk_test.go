@@ -275,3 +275,133 @@ func TestIOKindString(t *testing.T) {
 		t.Fatal("unknown kind String")
 	}
 }
+
+func TestWritePagesVectored(t *testing.T) {
+	st := stats.NewSet()
+	d := New("d", 16, 128, st)
+	writes := []PageWrite{
+		{Page: 1, Data: page(d, 0xAA), Kind: IOPrepareLog},
+		{Page: 2, Data: page(d, 0xBB), Kind: IOPrepareLog},
+		{Page: 3, Data: page(d, 0xCC), Kind: IOCoordLog},
+	}
+	if err := d.WritePages(writes); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range writes {
+		got, err := d.ReadPage(w.Page, IOMeta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, w.Data) {
+			t.Fatalf("page %d not written", w.Page)
+		}
+	}
+	if got := st.Get(stats.ForcedIOs); got != 1 {
+		t.Fatalf("batch charged %d forced I/Os, want 1", got)
+	}
+	if got := st.Get(stats.DiskWrites); got != 3 {
+		t.Fatalf("batch charged %d disk writes, want 3", got)
+	}
+	if got := st.Get(stats.PrepareLogWrites); got != 2 {
+		t.Fatalf("prepare log writes = %d, want 2", got)
+	}
+	if got := st.Get(stats.CoordLogWrites); got != 1 {
+		t.Fatalf("coord log writes = %d, want 1", got)
+	}
+	if err := d.WritePages(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Get(stats.ForcedIOs); got != 1 {
+		t.Fatal("empty batch must not charge a forced I/O")
+	}
+}
+
+func TestWritePagesValidatesUpFront(t *testing.T) {
+	st := stats.NewSet()
+	d := New("d", 8, 128, st)
+	err := d.WritePages([]PageWrite{
+		{Page: 1, Data: page(d, 1), Kind: IOData},
+		{Page: 99, Data: page(d, 2), Kind: IOData},
+	})
+	if !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("err = %v, want ErrOutOfRange", err)
+	}
+	// Validation happens before any page lands: page 1 must be untouched.
+	got, _ := d.ReadPage(1, IOMeta)
+	if !bytes.Equal(got, make([]byte, 128)) {
+		t.Fatal("partial batch landed despite validation error")
+	}
+	if st.Get(stats.DiskWrites) != 0 {
+		t.Fatal("failed batch charged disk writes")
+	}
+}
+
+func TestForcedIOAccounting(t *testing.T) {
+	st := stats.NewSet()
+	d := New("d", 8, 128, st)
+	if err := d.WritePage(1, page(d, 1), IOData, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WritePage(2, page(d, 2), IOData, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Get(stats.ForcedIOs); got != 1 {
+		t.Fatalf("forced I/Os after sync+async = %d, want 1", got)
+	}
+	if err := d.FlushPage(2, IOData); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Get(stats.ForcedIOs); got != 2 {
+		t.Fatalf("forced I/Os after flush = %d, want 2", got)
+	}
+	// Flushing a clean page charges nothing.
+	if err := d.FlushPage(2, IOData); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Get(stats.ForcedIOs); got != 2 {
+		t.Fatal("clean FlushPage charged a forced I/O")
+	}
+	// A bulk Flush of N dirty pages is one force, N writes.
+	for p := 3; p <= 5; p++ {
+		if err := d.WritePage(p, page(d, byte(p)), IOData, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Get(stats.ForcedIOs); got != 3 {
+		t.Fatalf("forced I/Os after bulk flush = %d, want 3", got)
+	}
+}
+
+func TestCrashAfterWritesTearsBatch(t *testing.T) {
+	st := stats.NewSet()
+	d := New("d", 16, 128, st)
+	d.CrashAfterWrites(2)
+	err := d.WritePages([]PageWrite{
+		{Page: 1, Data: page(d, 0x11), Kind: IOData},
+		{Page: 2, Data: page(d, 0x22), Kind: IOData},
+		{Page: 3, Data: page(d, 0x33), Kind: IOData},
+	})
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("torn batch err = %v, want ErrCrashed", err)
+	}
+	if !d.Crashed() {
+		t.Fatal("disk should be crashed after the fault fires")
+	}
+	d.Restart()
+	for p, want := range map[int]byte{1: 0x11, 2: 0x22, 3: 0} {
+		got, err := d.ReadPage(p, IOMeta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != want {
+			t.Fatalf("page %d first byte = %#x, want %#x", p, got[0], want)
+		}
+	}
+	// Restart disarmed the fault: writes succeed again.
+	if err := d.WritePage(3, page(d, 0x44), IOData, true); err != nil {
+		t.Fatal(err)
+	}
+}

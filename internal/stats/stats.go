@@ -41,6 +41,16 @@ const (
 	DataPageWrites   // step 2 of Figure 5
 	InodeWrites      // step 5 of Figure 5 (phase-2 pointer replacement)
 	WALWrites        // baseline write-ahead log records (internal/wal)
+	// ForcedIOs counts synchronous disk forces: each sync page write or
+	// flush is one force, and a vectored WritePages batch is one force no
+	// matter how many pages it carries.  Group commit shrinks this
+	// counter (and the simulated sync latency) without changing the
+	// per-page write counts above.
+	ForcedIOs
+
+	// Group-commit daemon events (internal/fs).
+	GroupCommitBatches // batched log flushes issued
+	GroupCommitRecords // log records carried by those batches
 
 	// Network events.
 	MsgsSent
@@ -82,6 +92,10 @@ var counterNames = [numCounters]string{
 	DataPageWrites:   "data_page_writes",
 	InodeWrites:      "inode_writes",
 	WALWrites:        "wal_writes",
+	ForcedIOs:        "forced_ios",
+
+	GroupCommitBatches: "group_commit_batches",
+	GroupCommitRecords: "group_commit_records",
 	MsgsSent:         "msgs_sent",
 	BytesSent:        "bytes_sent",
 	RPCs:             "rpcs",

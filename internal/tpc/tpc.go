@@ -28,8 +28,6 @@
 package tpc
 
 import (
-	"bytes"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"sort"
@@ -113,14 +111,7 @@ type CoordRecord struct {
 }
 
 // ---- log record encoding ----
-
-func encode(v any) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
-}
+// (hand-rolled binary codec with pooled staging buffers; see codec.go)
 
 func coordKey(txid string) string { return "coord:" + txid }
 
@@ -138,11 +129,7 @@ func prepKey(txid, suffix string) string {
 // Overwriting with an equal-size payload is a single I/O: the status
 // marker flip that defines the commit point.
 func WriteCoordRecord(v *fs.Volume, rec CoordRecord) error {
-	payload, err := encode(rec)
-	if err != nil {
-		return err
-	}
-	return v.Log().Put(coordKey(rec.Txid), fs.KindCoordinator, payload)
+	return v.Log().Put(coordKey(rec.Txid), fs.KindCoordinator, encodeCoordRecord(&rec))
 }
 
 // ReadCoordRecords returns every coordinator record in the volume's log.
@@ -156,8 +143,8 @@ func ReadCoordRecords(v *fs.Volume) ([]CoordRecord, error) {
 		if r.Kind != fs.KindCoordinator {
 			continue
 		}
-		var cr CoordRecord
-		if err := gob.NewDecoder(bytes.NewReader(r.Payload)).Decode(&cr); err != nil {
+		cr, err := decodeCoordRecord(r.Payload)
+		if err != nil {
 			return nil, fmt.Errorf("tpc: corrupt coordinator record %q: %v", r.Key, err)
 		}
 		out = append(out, cr)
@@ -174,11 +161,7 @@ func DeleteCoordRecord(v *fs.Volume, txid string) error {
 // WritePrepareRecord writes a participant's prepare log entry.  suffix
 // distinguishes per-file records in footnote-10 mode ("" otherwise).
 func WritePrepareRecord(v *fs.Volume, rec PrepareRecord, suffix string) error {
-	payload, err := encode(rec)
-	if err != nil {
-		return err
-	}
-	return v.Log().Put(prepKey(rec.Txid, suffix), fs.KindPrepare, payload)
+	return v.Log().Put(prepKey(rec.Txid, suffix), fs.KindPrepare, encodePrepareRecord(&rec))
 }
 
 // ReadPrepareRecords returns every prepare record in the volume's log.
@@ -192,8 +175,8 @@ func ReadPrepareRecords(v *fs.Volume) ([]PrepareRecord, error) {
 		if r.Kind != fs.KindPrepare {
 			continue
 		}
-		var pr PrepareRecord
-		if err := gob.NewDecoder(bytes.NewReader(r.Payload)).Decode(&pr); err != nil {
+		pr, err := decodePrepareRecord(r.Payload)
+		if err != nil {
 			return nil, fmt.Errorf("tpc: corrupt prepare record %q: %v", r.Key, err)
 		}
 		out = append(out, pr)
