@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test race bench chaos experiments examples tools clean
+.PHONY: all test race bench chaos trace experiments examples tools clean
 
 all: test
 
@@ -17,6 +17,10 @@ bench:           ## regenerate every paper table/figure via testing.B
 
 chaos:           ## 20-seed fault-injection sweep with the section 5 audit
 	$(GO) run ./cmd/locuschaos -sweep 20 -duration 1s
+
+trace:           ## causal timeline of a small cross-site workload + Chrome export
+	$(GO) run ./cmd/locustrace -txns 3
+	$(GO) run ./cmd/locustrace -txns 3 -chrome /tmp/locustrace.json
 
 experiments:     ## print every experiment as paper-style tables
 	$(GO) run ./cmd/locusbench

@@ -126,6 +126,8 @@ func run() error {
 	}
 	g := wfg.Build(edges)
 	fmt.Printf("  deadlocked: %v\n", g.Deadlocked())
+	fmt.Println()
+	printQueues(sys)
 
 	// Turn it into a true cycle: C (non-transaction) releases; B then
 	// waits on A's retained range.
@@ -159,4 +161,26 @@ func run() error {
 	fmt.Println()
 	fmt.Println("survivor committed; deadlock resolved.")
 	return nil
+}
+
+// printQueues renders every non-empty wait queue in the cluster: how many
+// requests are parked on each file and how long the oldest has waited.
+func printQueues(sys *core.System) {
+	fmt.Println("== Wait queues (depth and longest waiter age) ==")
+	fmt.Println()
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "  site\tfile\tdepth\toldest wait")
+	any := false
+	for _, id := range sys.Cluster().Sites() {
+		for _, qi := range sys.Cluster().Site(id).Locks().QueueStats() {
+			any = true
+			fmt.Fprintf(w, "  %s\t%s\t%d\t%s\n",
+				id, qi.FileID, qi.Depth, qi.OldestWait.Round(time.Millisecond))
+		}
+	}
+	w.Flush()
+	if !any {
+		fmt.Println("  (no waiters)")
+	}
+	fmt.Println()
 }

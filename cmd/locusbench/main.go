@@ -28,17 +28,18 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/lockmgr"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
 var (
-	expFlag    = flag.String("exp", "all", "experiment to run: all, fig1, fig5, lock, fig6, pagesize, shadowlog, preplog, lockcache, replica, prefetch, fn7, recovery, concurrent")
-	markdown   = flag.Bool("markdown", false, "emit Markdown tables")
-	model      = flag.String("model", "vax750", "cost model: vax750 (the paper's testbed) or modern")
-	concFlag   = flag.Bool("concurrent", false, "run only the concurrent-commit throughput experiment")
-	clients    = flag.Int("clients", 8, "client goroutines for the concurrent experiment")
-	txnsPerCl  = flag.Int("txns", 25, "transactions per client for the concurrent experiment")
-	jsonPath   = flag.String("json", "", "write a machine-readable benchmark snapshot (stable schema) to this path")
+	expFlag   = flag.String("exp", "all", "experiment to run: all, fig1, fig5, lock, fig6, pagesize, shadowlog, preplog, lockcache, replica, prefetch, fn7, recovery, concurrent")
+	markdown  = flag.Bool("markdown", false, "emit Markdown tables")
+	model     = flag.String("model", "vax750", "cost model: vax750 (the paper's testbed) or modern")
+	concFlag  = flag.Bool("concurrent", false, "run only the concurrent-commit throughput experiment")
+	clients   = flag.Int("clients", 8, "client goroutines for the concurrent experiment")
+	txnsPerCl = flag.Int("txns", 25, "transactions per client for the concurrent experiment")
+	jsonPath  = flag.String("json", "", "write a machine-readable benchmark snapshot (stable schema) to this path")
 )
 
 func main() {
@@ -433,20 +434,34 @@ func concurrent() error {
 	if err != nil {
 		return err
 	}
+	ms := func(d time.Duration) string { return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000) }
 	var out [][]string
 	for _, r := range rows {
 		out = append(out, []string{
 			r.Case,
 			fmt.Sprintf("%d", r.Committed),
 			fmt.Sprintf("%.0f", r.TxnsPerSec),
-			fmt.Sprintf("%.1fms", float64(r.P50.Microseconds())/1000),
-			fmt.Sprintf("%.1fms", float64(r.P99.Microseconds())/1000),
+			ms(r.P50), ms(r.P95), ms(r.P99),
 			fmt.Sprintf("%.2f", r.ForcedPerTxn),
 			fmt.Sprintf("%d", r.DiskWrites),
 		})
 	}
 	table(fmt.Sprintf("Group commit: concurrent transfer throughput (%d clients x %d txns)", *clients, *txnsPerCl),
-		[]string{"case", "committed", "txns/sec", "p50", "p99", "forced IOs/txn", "page writes"}, out)
+		[]string{"case", "committed", "txns/sec", "p50", "p95", "p99", "forced IOs/txn", "page writes"}, out)
+	var phases [][]string
+	for _, r := range rows {
+		for _, ph := range []struct {
+			name string
+			h    trace.Histogram
+		}{{"total", r.PhaseTotal}, {"prepare", r.PhasePrepare}, {"phase2", r.PhasePhase2}} {
+			phases = append(phases, []string{
+				r.Case, ph.name, fmt.Sprint(ph.h.Count),
+				ms(ph.h.P50), ms(ph.h.P95), ms(ph.h.P99),
+			})
+		}
+	}
+	table("Per-2PC-phase commit latency (from the event trace)",
+		[]string{"case", "phase", "txns", "p50", "p95", "p99"}, phases)
 	if rows[0].TxnsPerSec > 0 {
 		fmt.Printf("speedup: %.2fx committed-txns/sec; per-page write counts identical, so the\n", rows[1].TxnsPerSec/rows[0].TxnsPerSec)
 		fmt.Println("Figure 5 I/O tables reproduce unchanged (batching only merges sync forces)")
@@ -482,6 +497,17 @@ type snapConcurrent struct {
 	Batches       int64   `json:"group_commit_batches"`
 	BatchRecords  int64   `json:"group_commit_records"`
 	DiskWrites    int64   `json:"disk_writes"`
+	// Appended after v1's initial fields (schema is append-only): wall
+	// p95 plus per-2PC-phase percentiles from the event trace, and the
+	// full counter delta for the run.
+	P95Ms        float64        `json:"p95_ms"`
+	PrepareP50Ms float64        `json:"prepare_p50_ms"`
+	PrepareP95Ms float64        `json:"prepare_p95_ms"`
+	PrepareP99Ms float64        `json:"prepare_p99_ms"`
+	Phase2P50Ms  float64        `json:"phase2_p50_ms"`
+	Phase2P95Ms  float64        `json:"phase2_p95_ms"`
+	Phase2P99Ms  float64        `json:"phase2_p99_ms"`
+	Counters     stats.Snapshot `json:"counters"`
 }
 
 func writeSnapshot(path string) error {
@@ -512,6 +538,14 @@ func writeSnapshot(path string) error {
 			Batches:       r.Batches,
 			BatchRecords:  r.BatchRecords,
 			DiskWrites:    r.DiskWrites,
+			P95Ms:         float64(r.P95.Microseconds()) / 1000,
+			PrepareP50Ms:  float64(r.PhasePrepare.P50.Microseconds()) / 1000,
+			PrepareP95Ms:  float64(r.PhasePrepare.P95.Microseconds()) / 1000,
+			PrepareP99Ms:  float64(r.PhasePrepare.P99.Microseconds()) / 1000,
+			Phase2P50Ms:   float64(r.PhasePhase2.P50.Microseconds()) / 1000,
+			Phase2P95Ms:   float64(r.PhasePhase2.P95.Microseconds()) / 1000,
+			Phase2P99Ms:   float64(r.PhasePhase2.P99.Microseconds()) / 1000,
+			Counters:      r.Counters,
 		})
 	}
 	data, err := json.MarshalIndent(snap, "", "  ")

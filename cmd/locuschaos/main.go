@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/chaos"
@@ -40,6 +41,7 @@ var (
 	stats    = flag.Bool("stats", false, "append nondeterministic commit/abort counts to the report")
 	verbose  = flag.Bool("v", false, "log faults and recovery progress as they happen")
 	groupc   = flag.Duration("groupcommit", 0, "enable the group-commit log daemon with this max batching delay (0 = synchronous log forces)")
+	forens   = flag.String("forensics", "", "on any invariant failure, also write the full failure reports (violations + event-trace forensics) to this file; CI uploads it as an artifact")
 )
 
 func main() {
@@ -78,6 +80,7 @@ func main() {
 		n = 1
 	}
 	failed := 0
+	var failures []string
 	for i := 0; i < n; i++ {
 		opts.Seed = *seed + int64(i)
 		res, err := chaos.Run(opts)
@@ -99,12 +102,21 @@ func main() {
 		}
 		if !res.OK() {
 			failed++
+			failures = append(failures, res.Report(*stats))
 		}
 	}
 	if n > 1 {
 		fmt.Printf("sweep: %d/%d seeds passed\n", n-failed, n)
 	}
 	if failed > 0 {
+		if *forens != "" {
+			report := strings.Join(failures, "\n")
+			if werr := os.WriteFile(*forens, []byte(report), 0o644); werr != nil {
+				fmt.Fprintf(os.Stderr, "locuschaos: writing forensics: %v\n", werr)
+			} else {
+				fmt.Fprintf(os.Stderr, "locuschaos: failure forensics written to %s\n", *forens)
+			}
+		}
 		os.Exit(1)
 	}
 }

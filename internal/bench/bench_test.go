@@ -354,3 +354,41 @@ func TestConcurrentCommitGroupCommitCutsForcedIOs(t *testing.T) {
 		t.Fatalf("forced I/Os barely shrank: off=%d on=%d", off.ForcedIOs, on.ForcedIOs)
 	}
 }
+
+func TestConcurrentCommitPhaseHistograms(t *testing.T) {
+	// The traced variant must reconstruct per-2PC-phase latency
+	// percentiles from the event log; the untraced variant must not.
+	row, err := ConcurrentCommitTraced(2, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Committed != 8 {
+		t.Fatalf("committed = %d, want 8", row.Committed)
+	}
+	if row.PhaseTotal.Count != 8 {
+		t.Fatalf("PhaseTotal.Count = %d, want 8 committed txns", row.PhaseTotal.Count)
+	}
+	if row.PhasePrepare.Count != 8 || row.PhasePhase2.Count != 8 {
+		t.Fatalf("phase counts = %d/%d, want 8/8", row.PhasePrepare.Count, row.PhasePhase2.Count)
+	}
+	if row.PhaseTotal.P50 <= 0 || row.PhaseTotal.P99 < row.PhaseTotal.P50 {
+		t.Fatalf("total percentiles disordered: %+v", row.PhaseTotal)
+	}
+	if row.PhasePrepare.P50 <= 0 {
+		t.Fatalf("prepare p50 = %v, want > 0 (prepare phase forces the log)", row.PhasePrepare.P50)
+	}
+	if row.PhaseTotal.P50 < row.PhasePrepare.P50 {
+		t.Fatalf("total p50 %v < prepare p50 %v", row.PhaseTotal.P50, row.PhasePrepare.P50)
+	}
+	if row.P95 < row.P50 || row.P99 < row.P95 {
+		t.Fatalf("wall percentiles disordered: p50=%v p95=%v p99=%v", row.P50, row.P95, row.P99)
+	}
+
+	plain, err := ConcurrentCommit(2, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.PhaseTotal.Count != 0 {
+		t.Fatalf("untraced run grew phase histograms: %+v", plain.PhaseTotal)
+	}
+}

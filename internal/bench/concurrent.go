@@ -10,6 +10,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Defaults for the concurrent-commit experiment.  The sync delay gives
@@ -40,21 +41,45 @@ type ConcurrentRow struct {
 	Wall         time.Duration
 	TxnsPerSec   float64
 	P50          time.Duration // per-transaction wall latency
+	P95          time.Duration
 	P99          time.Duration
 	ForcedIOs    int64   // synchronous disk forces during the run
 	ForcedPerTxn float64 // forces per committed transaction
 	Batches      int64   // group-commit flushes issued
 	BatchRecords int64   // log records carried by those flushes
 	DiskWrites   int64   // per-page writes (identical in both modes)
+	// Counters is the run's full stats delta (the -json snapshot embeds
+	// it so perf trajectories can drill past the headline numbers).
+	Counters stats.Snapshot
+	// Per-2PC-phase latency histograms reconstructed from the event
+	// trace; zero-valued when the run was untraced (plain
+	// ConcurrentCommit, which the regression benchmark uses to keep the
+	// tracing-off fast path honest).
+	PhaseTotal   trace.Histogram // TxnBegin -> outcome
+	PhasePrepare trace.Histogram // first PrepareSent -> last vote
+	PhasePhase2  trace.Histogram // last vote -> last CommitApplied
 }
 
 // ConcurrentCommit runs the transfer workload once.  groupCommit toggles
 // the log batching daemon; everything else - workload, sync delay, page
 // writes - is identical, so the two rows isolate the batching win.
+// Tracing stays off (nil collector): this is the configuration the
+// throughput regression benchmark guards.
 func ConcurrentCommit(clients, txnsPerClient int, groupCommit bool) (ConcurrentRow, error) {
+	return concurrentCommit(clients, txnsPerClient, groupCommit, nil)
+}
+
+// ConcurrentCommitTraced runs the same workload with the event trace
+// attached and fills the per-phase latency histograms.
+func ConcurrentCommitTraced(clients, txnsPerClient int, groupCommit bool) (ConcurrentRow, error) {
+	return concurrentCommit(clients, txnsPerClient, groupCommit, trace.NewCollector(0))
+}
+
+func concurrentCommit(clients, txnsPerClient int, groupCommit bool, col *trace.Collector) (ConcurrentRow, error) {
 	cfg := cluster.Config{
 		SyncPhase2:    true,
 		DiskSyncDelay: DefaultDiskSyncDelay,
+		Trace:         col,
 	}
 	if groupCommit {
 		cfg.GroupCommitMaxDelay = DefaultGroupCommitDelay
@@ -176,11 +201,13 @@ func ConcurrentCommit(clients, txnsPerClient int, groupCommit bool) (ConcurrentR
 		Aborted:      aborted.Load(),
 		Wall:         wall,
 		P50:          pct(0.50),
+		P95:          pct(0.95),
 		P99:          pct(0.99),
 		ForcedIOs:    d.Get(stats.ForcedIOs),
 		Batches:      d.Get(stats.GroupCommitBatches),
 		BatchRecords: d.Get(stats.GroupCommitRecords),
 		DiskWrites:   d.Get(stats.DiskWrites),
+		Counters:     d,
 	}
 	if groupCommit {
 		row.Case = "group-commit on"
@@ -189,17 +216,22 @@ func ConcurrentCommit(clients, txnsPerClient int, groupCommit bool) (ConcurrentR
 		row.TxnsPerSec = float64(row.Committed) / wall.Seconds()
 		row.ForcedPerTxn = float64(row.ForcedIOs) / float64(row.Committed)
 	}
+	if col != nil {
+		row.PhaseTotal, row.PhasePrepare, row.PhasePhase2 =
+			trace.LatencyHistograms(trace.PhaseLatencies(col.Events()))
+	}
 	return row, nil
 }
 
 // ConcurrentCommitPair runs the workload with group commit off then on
-// and returns both rows (the locusbench -concurrent table).
+// and returns both rows (the locusbench -concurrent table).  The trace
+// rides along so both rows carry per-phase latency histograms.
 func ConcurrentCommitPair(clients, txnsPerClient int) ([]ConcurrentRow, error) {
-	off, err := ConcurrentCommit(clients, txnsPerClient, false)
+	off, err := ConcurrentCommitTraced(clients, txnsPerClient, false)
 	if err != nil {
 		return nil, err
 	}
-	on, err := ConcurrentCommit(clients, txnsPerClient, true)
+	on, err := ConcurrentCommitTraced(clients, txnsPerClient, true)
 	if err != nil {
 		return nil, err
 	}

@@ -3,12 +3,14 @@ package chaos
 import (
 	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/simnet"
+	"repro/internal/trace"
 )
 
 func TestGenScheduleDeterministic(t *testing.T) {
@@ -158,9 +160,11 @@ func TestSweep(t *testing.T) {
 // it.
 func TestCheckerCatchesTornPair(t *testing.T) {
 	e := &engine{opts: Options{Seed: 5, Sites: 2, Workers: 2}}
+	e.collector = trace.NewCollector(0)
 	e.sys = core.NewSystem(cluster.Config{
 		RetryInterval:   10 * time.Millisecond,
 		LockWaitTimeout: 75 * time.Millisecond,
+		Trace:           e.collector,
 		Net:             simnet.Config{CallTimeout: 60 * time.Millisecond, Seed: 5},
 	})
 	defer e.sys.Cluster().Shutdown()
@@ -218,9 +222,29 @@ func TestCheckerCatchesTornPair(t *testing.T) {
 		if c.Name == "atomic-pairs" && len(c.Violations) != 0 {
 			caught = true
 			t.Logf("checker caught the injected tear: %v", c.Violations)
+			// The failure report must carry forensics: the tail of the
+			// causal trace touching the torn file, so the offending
+			// write is visible without rerunning anything.
+			if len(c.Forensics) == 0 {
+				t.Fatal("torn-pair violation carries no forensics")
+			}
+			joined := strings.Join(c.Forensics, "\n")
+			if !strings.Contains(joined, ps.pathA) {
+				t.Fatalf("forensics never name the torn file %s:\n%s", ps.pathA, joined)
+			}
+			if !strings.Contains(joined, "page_write") && !strings.Contains(joined, "lock_") {
+				t.Fatalf("forensics hold no page/lock events:\n%s", joined)
+			}
+			t.Logf("forensics:\n%s", joined)
 		}
 	}
 	if !caught {
 		t.Fatal("checker missed a deliberately torn pair")
+	}
+
+	// The rendered report embeds the forensics under the FAIL line.
+	res := &Result{Seed: 5, Sites: 2, Workers: 2, Checks: e.check()}
+	if rep := res.Report(false); !strings.Contains(rep, "forensics: last") {
+		t.Fatalf("Report omits forensics:\n%s", rep)
 	}
 }

@@ -184,6 +184,8 @@ func (e *engine) checkPairs() CheckResult {
 		if a != b {
 			c.Violations = append(c.Violations,
 				fmt.Sprintf("pair %d torn: %s=%q %s=%q", ps.worker, ps.pathA, a, ps.pathB, b))
+			c.Forensics = append(c.Forensics, e.forensics(ps.pathA)...)
+			c.Forensics = append(c.Forensics, e.forensics(ps.pathB)...)
 			continue
 		}
 		if a == "" {
@@ -191,6 +193,7 @@ func (e *engine) checkPairs() CheckResult {
 				c.Violations = append(c.Violations,
 					fmt.Sprintf("pair %d empty but commit %d was confirmed to the client",
 						ps.worker, ps.confirmed))
+				c.Forensics = append(c.Forensics, e.forensics(ps.pathA)...)
 			}
 			continue
 		}
@@ -199,12 +202,14 @@ func (e *engine) checkPairs() CheckResult {
 			c.Violations = append(c.Violations,
 				fmt.Sprintf("pair %d holds marker %q never issued (attempts %d)",
 					ps.worker, a, ps.attempts))
+			c.Forensics = append(c.Forensics, e.forensics(ps.pathA)...)
 			continue
 		}
 		if i < ps.confirmed {
 			c.Violations = append(c.Violations,
 				fmt.Sprintf("pair %d regressed to attempt %d; attempt %d was confirmed committed",
 					ps.worker, i, ps.confirmed))
+			c.Forensics = append(c.Forensics, e.forensics(ps.pathA)...)
 		}
 	}
 	return c
@@ -229,16 +234,19 @@ func (e *engine) checkAccounts() CheckResult {
 		s, err := readCommitted(p, path)
 		if err != nil {
 			c.Violations = append(c.Violations, fmt.Sprintf("%s unreadable: %v", path, err))
+			c.Forensics = append(c.Forensics, e.forensics(path)...)
 			continue
 		}
 		var v int64
 		if _, err := fmt.Sscanf(s, "%d", &v); err != nil || len(s) != 8 {
 			c.Violations = append(c.Violations,
 				fmt.Sprintf("%s: committed balance %q unparseable", path, s))
+			c.Forensics = append(c.Forensics, e.forensics(path)...)
 			continue
 		}
 		if v < 0 {
 			c.Violations = append(c.Violations, fmt.Sprintf("%s: negative balance %d", path, v))
+			c.Forensics = append(c.Forensics, e.forensics(path)...)
 		}
 		sum += v
 	}

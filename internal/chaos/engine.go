@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/simnet"
+	"repro/internal/trace"
 )
 
 // Options configures one chaos run.
@@ -66,6 +68,11 @@ type CheckResult struct {
 	Name       string   // e.g. "atomic-pairs"
 	Detail     string   // deterministic scope summary, e.g. "3 pairs"
 	Violations []string // empty = PASS
+	// Forensics holds, for each violation, the tail of the causal event
+	// trace touching the offending object: what the transactions that
+	// handled it did, fault injections included.  Empty when the check
+	// passed or the run was untraced.
+	Forensics []string
 }
 
 // OK reports whether every invariant held.
@@ -114,6 +121,9 @@ func (r *Result) Report(withStats bool) string {
 		for _, v := range c.Violations {
 			fmt.Fprintf(&b, "    - %s\n", v)
 		}
+		for _, f := range c.Forensics {
+			fmt.Fprintf(&b, "      %s\n", f)
+		}
 	}
 	if r.OK() {
 		b.WriteString("verdict: PASS\n")
@@ -128,14 +138,37 @@ func (r *Result) Report(withStats bool) string {
 
 // engine carries one run's state between setup, workload and audit.
 type engine struct {
-	opts     Options
-	sys      *core.System
-	sched    Schedule
-	pairs    []*pairState
-	accounts []string // account file paths; committed balances must sum to total
-	total    int64
-	commits  atomic.Int64
-	aborts   atomic.Int64
+	opts      Options
+	sys       *core.System
+	collector *trace.Collector // always attached: forensics must exist when an invariant fails
+	sched     Schedule
+	pairs     []*pairState
+	accounts  []string // account file paths; committed balances must sum to total
+	total     int64
+	commits   atomic.Int64
+	aborts    atomic.Int64
+}
+
+// forensicsDepth bounds how many trailing events a violation report
+// carries per offending object.
+const forensicsDepth = 20
+
+// forensics renders the last events touching object as indented timeline
+// lines, headed by what is being shown.  Nil when nothing touched it.
+func (e *engine) forensics(object string) []string {
+	evs := e.collector.LastTouching(object, forensicsDepth)
+	if len(evs) == 0 {
+		return nil
+	}
+	var buf bytes.Buffer
+	trace.Timeline(&buf, evs)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	out := make([]string, 0, len(lines)+1)
+	out = append(out, fmt.Sprintf("forensics: last %d events touching %s:", len(evs), object))
+	for _, l := range lines {
+		out = append(out, "  "+l)
+	}
+	return out
 }
 
 func (e *engine) logf(format string, args ...any) {
@@ -181,10 +214,12 @@ func Run(opts Options) (*Result, error) {
 	// The cluster runs phase two asynchronously with a short retry timer:
 	// that is the configuration where lost commit messages, coordinator
 	// crashes and the retry path all genuinely interleave.
+	e.collector = trace.NewCollector(0)
 	e.sys = core.NewSystem(cluster.Config{
 		RetryInterval:       10 * time.Millisecond,
 		LockWaitTimeout:     75 * time.Millisecond,
 		GroupCommitMaxDelay: opts.GroupCommit,
+		Trace:               e.collector,
 		Net: simnet.Config{
 			CallTimeout: 60 * time.Millisecond,
 			Seed:        opts.Seed,
@@ -442,6 +477,10 @@ func (e *engine) apply(f Fault) {
 	cl := e.sys.Cluster()
 	net := cl.Net()
 	e.logf("inject +%s %s", f.At, f.String())
+	// Stamp the injection into the trace at the targeted site (site 0 for
+	// network-wide faults), so forensics interleave faults with the
+	// transaction events they disturbed.
+	e.collector.Site(int(f.Site)).Record(trace.CrashInject, "", f.String(), int64(f.At/time.Millisecond))
 	switch f.Kind {
 	case FaultCrash:
 		if s := cl.Site(f.Site); s != nil && s.Up() {

@@ -34,6 +34,7 @@ import (
 	"repro/internal/simnet"
 	"repro/internal/stats"
 	"repro/internal/tpc"
+	"repro/internal/trace"
 )
 
 // Errors returned by cluster operations.
@@ -94,6 +95,10 @@ type Config struct {
 	// benchmarks instantaneous; the concurrent-throughput harness sets
 	// it to make the group-commit win visible in wall-clock terms.
 	DiskSyncDelay time.Duration
+	// Trace collects per-site causal event logs (DESIGN.md §8).  Nil —
+	// the default — disables tracing: every event site degenerates to a
+	// nil check.
+	Trace *trace.Collector
 }
 
 // groupCommit builds the fs-layer config from the cluster knobs.
@@ -174,6 +179,7 @@ func (c *Cluster) AddSite(id simnet.SiteID) *Site {
 		cl:       c,
 		ep:       c.net.AddSite(id),
 		st:       c.st,
+		tr:       c.cfg.Trace.Site(int(id)),
 		up:       true,
 		vols:     make(map[string]*volState),
 		open:     make(map[string]*openFile),
@@ -181,6 +187,8 @@ func (c *Cluster) AddSite(id simnet.SiteID) *Site {
 		procs:    proc.NewTable(id, c.st),
 		prepared: make(map[string]*preparedTxn),
 	}
+	s.ep.SetTracer(s.tr)
+	s.locks.SetTracer(s.tr)
 	s.registerHandlers()
 	c.sites[id] = s
 	return s
@@ -227,6 +235,7 @@ func (c *Cluster) AddVolume(site simnet.SiteID, name string) error {
 		return err
 	}
 	vol.DoubleLogWrite = c.cfg.DoubleLogWrites
+	vol.SetTracer(s.tr)
 	vol.Log().StartGroupCommit(c.cfg.groupCommit())
 	vs := &volState{name: name, disk: disk, vol: vol}
 	if err := vs.initDirectory(); err != nil {
@@ -352,6 +361,7 @@ type Site struct {
 	cl *Cluster
 	ep *simnet.Endpoint
 	st *stats.Set
+	tr *trace.Tracer // nil when Config.Trace is unset
 
 	mu       sync.Mutex
 	up       bool
@@ -388,6 +398,9 @@ func (s *Site) Procs() *proc.Table {
 	defer s.mu.Unlock()
 	return s.procs
 }
+
+// Tracer returns the site's event tracer, nil when tracing is off.
+func (s *Site) Tracer() *trace.Tracer { return s.tr }
 
 // Locks exposes the site's lock manager (storage-site lock lists).
 func (s *Site) Locks() *lockmgr.Manager {
@@ -441,6 +454,7 @@ func (s *Site) Coordinator() (*tpc.Coordinator, error) {
 			SyncPhase2:    s.cl.cfg.SyncPhase2,
 			RetryInterval: s.cl.cfg.RetryInterval,
 		})
+		s.coord.SetTracer(s.tr)
 	}
 	return s.coord, nil
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/proc"
 	"repro/internal/simnet"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Process protocol payloads.
@@ -132,6 +133,7 @@ func (s *Site) Migrate(pid int, to simnet.SiteID) error {
 		return fmt.Errorf("cluster: migrate pid %d to %v: %w", pid, to, err)
 	}
 	s.procs.CompleteMigrate(pid)
+	s.tr.Record(trace.Migration, "", fmt.Sprintf("pid%d", pid), int64(to))
 	// Tell the parent so the abort cascade can find the child at its new
 	// home; the parent itself may be migrating, so this retries until
 	// the update lands at the parent's settled table.

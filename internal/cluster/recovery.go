@@ -10,6 +10,7 @@ import (
 	"repro/internal/shadow"
 	"repro/internal/simnet"
 	"repro/internal/tpc"
+	"repro/internal/trace"
 )
 
 // Crash takes the site down: network detached, disks lose their volatile
@@ -65,6 +66,7 @@ func (s *Site) Restart() error {
 	// Forfeit kernel memory.
 	s.open = make(map[string]*openFile)
 	s.locks = lockmgr.NewManager(s.st)
+	s.locks.SetTracer(s.tr)
 	s.procs = proc.NewTable(s.id, s.st)
 	s.prepared = make(map[string]*preparedTxn)
 	s.coord = nil
@@ -88,6 +90,7 @@ func (s *Site) Restart() error {
 			return fmt.Errorf("cluster: reload %q: %w", vs.name, err)
 		}
 		vol.DoubleLogWrite = s.cl.cfg.DoubleLogWrites
+		vol.SetTracer(s.tr)
 		vol.Log().StartGroupCommit(s.cl.cfg.groupCommit())
 		vs.vol = vol
 		if err := tpc.PinPreparedPages(vol); err != nil {
@@ -162,6 +165,7 @@ func (s *Site) Restart() error {
 	// Refresh replica contents (stale copies forward to the primary
 	// until the pull completes).
 	s.resyncReplicas()
+	s.tr.Record(trace.Recovery, "", s.id.String(), int64(s.InDoubtCount()))
 	return nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"repro/internal/shadow"
 	"repro/internal/simnet"
 	"repro/internal/tpc"
+	"repro/internal/trace"
 )
 
 // Transaction protocol payloads.
@@ -197,6 +198,7 @@ func (s *Site) handleCommit2(req commit2Req) error {
 	s.mu.Lock()
 	delete(s.prepared, req.Txid)
 	s.mu.Unlock()
+	s.tr.Record(trace.CommitApplied, req.Txid, "", int64(len(pt.fileIDs)))
 	s.finishTxn(req.Txid, pt.fileIDs)
 	return nil
 }

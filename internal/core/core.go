@@ -35,6 +35,7 @@ import (
 	"repro/internal/proc"
 	"repro/internal/simnet"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/wfg"
 )
 
@@ -184,6 +185,7 @@ func (sys *System) abortTxn(ts *txnState) {
 	}
 	if origin != nil {
 		origin.AbortEverywhere(ts.txid)
+		origin.Tracer().Record(trace.TxnAbort, ts.txid, "", 0)
 	}
 	sys.Stats().Inc(stats.TxnAborts)
 
@@ -208,6 +210,18 @@ func (sys *System) noteTxnSite(txid string, site simnet.SiteID) {
 	}
 }
 
+// detectorTracer picks the tracer the deadlock detector stamps its
+// events through: the lowest live site's, matching the paper's framing
+// of detection as a user-level system process running somewhere in the
+// network.  Nil when tracing is off.
+func (sys *System) detectorTracer() *trace.Tracer {
+	sites := sys.cl.Sites()
+	if len(sites) == 0 {
+		return nil
+	}
+	return sys.cl.Site(sites[0]).Tracer()
+}
+
 // StartDeadlockDetector launches the user-level deadlock detection
 // "system process" of section 3.1: it polls the wait-for edges of every
 // site and aborts the victim transaction of each cycle (youngest by
@@ -221,6 +235,7 @@ func (sys *System) StartDeadlockDetector(interval time.Duration) {
 	d := &wfg.Detector{
 		Collect: sys.cl.WaitEdges,
 		Policy:  wfg.VictimYoungest,
+		Tracer:  sys.detectorTracer(),
 		OnVictim: func(group string, cycle []string) {
 			const p = "txn:"
 			if len(group) > len(p) && group[:len(p)] == p {
@@ -252,6 +267,7 @@ func (sys *System) DetectDeadlocksOnce() []string {
 	d := &wfg.Detector{
 		Collect: sys.cl.WaitEdges,
 		Policy:  wfg.VictimYoungest,
+		Tracer:  sys.detectorTracer(),
 		OnVictim: func(group string, cycle []string) {
 			const p = "txn:"
 			if len(group) > len(p) && group[:len(p)] == p {
@@ -332,6 +348,7 @@ func (p *Process) BeginTrans() (int, error) {
 		sites: map[simnet.SiteID]bool{p.site: true},
 	}
 	p.sys.mu.Unlock()
+	p.kernel().Tracer().Record(trace.TxnBegin, txid, "", int64(p.pid))
 	return n, nil
 }
 
@@ -380,6 +397,7 @@ func (p *Process) EndTrans() error {
 	if len(files) == 0 {
 		// Nothing locked inside the transaction: trivially committed.
 		p.sys.Stats().Inc(stats.TxnCommits)
+		p.kernel().Tracer().Record(trace.TxnCommit, txid, "", 0)
 		return nil
 	}
 	coord, err := p.kernel().Coordinator()

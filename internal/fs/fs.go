@@ -32,6 +32,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/simdisk"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Filesystem limits and magic numbers.
@@ -115,6 +116,7 @@ type Volume struct {
 	name string
 	disk *simdisk.Disk
 	st   *stats.Set
+	tr   *trace.Tracer // nil disables log/page event tracing
 	geo  Geometry
 
 	// DoubleLogWrite reproduces the implementation deficiency of the
@@ -270,6 +272,14 @@ func Load(name string, disk *simdisk.Disk) (*Volume, error) {
 
 // Name returns the volume's name.
 func (v *Volume) Name() string { return v.name }
+
+// SetTracer attaches an event tracer; log forces and group-commit
+// batches are recorded through it.  Call right after Format/Load.
+func (v *Volume) SetTracer(t *trace.Tracer) { v.tr = t }
+
+// Tracer returns the attached tracer, nil if tracing is disabled.  The
+// shadow layer picks it up here, alongside Stats.
+func (v *Volume) Tracer() *trace.Tracer { return v.tr }
 
 // Geometry returns the volume layout.
 func (v *Volume) Geometry() Geometry { return v.geo }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/simdisk"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // LogKind classifies log records so recovery can dispatch them; the kind
@@ -335,6 +336,7 @@ func (l *LogStore) Put(key string, kind LogKind, payload []byte) error {
 	if fresh {
 		l.chargeFootnote9Locked(1)
 	}
+	l.v.tr.Record(trace.LogForce, "", key, int64(len(writes)))
 	return nil
 }
 
@@ -437,6 +439,7 @@ func (l *LogStore) flushBatch(batch []*logReq) {
 		werr = l.v.disk.WritePages(writes)
 		l.v.st.Inc(stats.GroupCommitBatches)
 		l.v.st.Add(stats.GroupCommitRecords, int64(len(batch)))
+		l.v.tr.Record(trace.GroupCommitBatch, "", l.v.name, int64(len(batch)))
 	}
 	if werr == nil {
 		l.chargeFootnote9Locked(freshPuts)

@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/costmodel"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Mode is a lock mode.  ModeShared and ModeExclusive are requestable;
@@ -159,8 +160,9 @@ type WaitEdge struct {
 
 // waiter is a queued request.
 type waiter struct {
-	req  Request
-	done chan grant
+	req      Request
+	done     chan grant
+	enqueued time.Time // for wait-queue age reporting
 }
 
 type grant struct {
@@ -173,6 +175,7 @@ type FileLocks struct {
 	id     string
 	sizeFn func() int64 // current working file size, for AtEOF
 	st     *stats.Set
+	tr     *trace.Tracer // nil disables lock-event tracing
 
 	mu      sync.Mutex
 	entries []*entry
@@ -190,6 +193,11 @@ func NewFileLocks(id string, sizeFn func() int64, st *stats.Set) *FileLocks {
 
 // ID returns the file's identifier.
 func (fl *FileLocks) ID() string { return fl.id }
+
+// SetTracer attaches an event tracer to this lock list.  Call before
+// the list sees traffic; lock request/grant/wait/deny events carry the
+// requesting group as the transaction and the file id as the object.
+func (fl *FileLocks) SetTracer(t *trace.Tracer) { fl.tr = t }
 
 // conflicting returns the groups whose entries block the request over s.
 // A process's own pre-transaction locks never block it: section 3.4 lets
@@ -267,22 +275,26 @@ func (fl *FileLocks) Lock(req Request) (Result, error) {
 	}
 	fl.mu.Lock()
 	fl.st.Add(stats.Instructions, costmodel.InstrLockRequest)
+	fl.tr.Record(trace.LockRequest, req.Holder.Group(), fl.id, int64(req.Mode))
 
 	if res, ok := fl.tryGrantLocked(req); ok {
 		fl.mu.Unlock()
 		fl.st.Inc(stats.LockAcquires)
+		fl.tr.Record(trace.LockGrant, req.Holder.Group(), fl.id, res.Len)
 		return res, nil
 	}
 	if !req.Wait {
 		fl.mu.Unlock()
 		fl.st.Inc(stats.LockDenials)
+		fl.tr.Record(trace.LockDeny, req.Holder.Group(), fl.id, 0)
 		groups := fl.blockingGroups(req)
 		return Result{}, fmt.Errorf("%w: %s held by %s", ErrConflict, fl.id, strings.Join(groups, ","))
 	}
 	// Queue and wait.
-	w := &waiter{req: req, done: make(chan grant, 1)}
+	w := &waiter{req: req, done: make(chan grant, 1), enqueued: time.Now()}
 	fl.queue = append(fl.queue, w)
 	fl.st.Inc(stats.LockWaits)
+	fl.tr.Record(trace.LockWait, req.Holder.Group(), fl.id, int64(len(fl.queue)))
 	fl.mu.Unlock()
 
 	var timeout <-chan time.Time
@@ -295,6 +307,7 @@ func (fl *FileLocks) Lock(req Request) (Result, error) {
 	case g := <-w.done:
 		if g.err == nil {
 			fl.st.Inc(stats.LockAcquires)
+			fl.tr.Record(trace.LockGrant, req.Holder.Group(), fl.id, g.res.Len)
 		}
 		return g.res, g.err
 	case <-timeout:
@@ -304,10 +317,12 @@ func (fl *FileLocks) Lock(req Request) (Result, error) {
 		case g := <-w.done:
 			if g.err == nil {
 				fl.st.Inc(stats.LockAcquires)
+				fl.tr.Record(trace.LockGrant, req.Holder.Group(), fl.id, g.res.Len)
 			}
 			return g.res, g.err
 		default:
 		}
+		fl.tr.Record(trace.LockDeny, req.Holder.Group(), fl.id, 0)
 		return Result{}, fmt.Errorf("%w: %s", ErrTimeout, fl.id)
 	}
 }
@@ -568,6 +583,29 @@ func (fl *FileLocks) QueueLength() int {
 	return len(fl.queue)
 }
 
+// QueueInfo is a point-in-time view of one file's wait queue: its depth
+// and how long the oldest waiter has been queued.
+type QueueInfo struct {
+	FileID     string
+	Depth      int
+	OldestWait time.Duration
+}
+
+// QueueInfo snapshots the file's wait-queue state.  OldestWait is zero
+// when the queue is empty.
+func (fl *FileLocks) QueueInfo() QueueInfo {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	qi := QueueInfo{FileID: fl.id, Depth: len(fl.queue)}
+	now := time.Now()
+	for _, w := range fl.queue {
+		if age := now.Sub(w.enqueued); age > qi.OldestWait {
+			qi.OldestWait = age
+		}
+	}
+	return qi
+}
+
 // numShards divides the Manager's file table so that unrelated files'
 // lookups do not contend on one map mutex under concurrent transaction
 // load.  Per-file serialization stays in FileLocks.mu; the shard mutex
@@ -585,6 +623,7 @@ type lockShard struct {
 // by file id.
 type Manager struct {
 	st     *stats.Set
+	tr     *trace.Tracer // installed on lock lists created after SetTracer
 	shards [numShards]lockShard
 }
 
@@ -620,10 +659,15 @@ func (m *Manager) File(id string, sizeFn func() int64) *FileLocks {
 	fl, ok := s.files[id]
 	if !ok {
 		fl = NewFileLocks(id, sizeFn, m.st)
+		fl.SetTracer(m.tr)
 		s.files[id] = fl
 	}
 	return fl
 }
+
+// SetTracer attaches an event tracer; lock lists created afterwards
+// inherit it.  Call right after NewManager, before any File calls.
+func (m *Manager) SetTracer(t *trace.Tracer) { m.tr = t }
 
 // Files returns the ids of every file with lock state, sorted.  Audit
 // tools walk this to scan the whole lock table for conflicts.
@@ -678,6 +722,19 @@ func (m *Manager) ReleaseGroup(group string) {
 		fl.CancelWaiters(group)
 		fl.ReleaseGroup(group)
 	}
+}
+
+// QueueStats reports the wait-queue state of every file with at least
+// one queued request, sorted by file id — the lockstat contention view.
+func (m *Manager) QueueStats() []QueueInfo {
+	var out []QueueInfo
+	for _, fl := range m.all() {
+		if qi := fl.QueueInfo(); qi.Depth > 0 {
+			out = append(out, qi)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FileID < out[j].FileID })
+	return out
 }
 
 // WaitEdges aggregates the wait-for edges across all files at this site.

@@ -35,6 +35,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/fs"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Owner identifies the holder of uncommitted modifications: a transaction
@@ -655,6 +656,8 @@ func (f *File) commitLocked(owner Owner) error {
 	}
 	sort.Ints(logicals)
 
+	tr := f.v.Tracer()
+	obj := fmt.Sprintf("%s#%d", f.v.Name(), f.ino.Ino)
 	for _, l := range logicals {
 		st := f.pages[l]
 		rs := st.ownerMods(owner)
@@ -664,6 +667,7 @@ func (f *File) commitLocked(owner Owner) error {
 		owners := st.owners()
 		f.st.Inc(stats.PageCommits)
 		f.st.Add(stats.Instructions, costmodel.InstrPageCommitBase)
+		tr.Record(trace.PageWrite, string(owner), obj, int64(l))
 		if len(owners) == 1 {
 			// Figure 4(a): direct commit of the shadow page.
 			if st.dirty {
@@ -678,6 +682,7 @@ func (f *File) commitLocked(owner Owner) error {
 		// Figure 4(b): merge owner's records onto the previous version.
 		f.st.Inc(stats.PageDiffs)
 		f.st.Add(stats.Instructions, costmodel.InstrPageDiffBase)
+		tr.Record(trace.PageDiff, string(owner), obj, int64(l))
 		merged := make([]byte, f.v.PageSize())
 		if st.base >= 0 {
 			var prev []byte

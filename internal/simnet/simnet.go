@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/costmodel"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // SiteID names a network site (a machine running a Locus kernel).
@@ -399,12 +400,23 @@ type Endpoint struct {
 	// handler dispatch checks it under the endpoint's.
 	up atomic.Bool
 
+	// tr is the site's event tracer; nil (the common case) costs one
+	// atomic load per message leg.  Atomic so SetTracer needs no lock.
+	tr atomic.Pointer[trace.Tracer]
+
 	mu       sync.Mutex
 	handlers map[string]Handler
 }
 
 // ID returns the endpoint's site ID.
 func (e *Endpoint) ID() SiteID { return e.id }
+
+// SetTracer attaches an event tracer; message sends and receipts are
+// stamped with its Lamport clock.  A nil tracer disables tracing.
+func (e *Endpoint) SetTracer(t *trace.Tracer) { e.tr.Store(t) }
+
+// Tracer returns the attached tracer, nil if tracing is disabled.
+func (e *Endpoint) Tracer() *trace.Tracer { return e.tr.Load() }
 
 // Handle registers the handler for an operation name, replacing any
 // previous handler.
@@ -429,8 +441,9 @@ func (e *Endpoint) handler(op string) (Handler, error) {
 }
 
 type callResult struct {
-	resp any
-	err  error
+	resp  any
+	err   error
+	clock uint64 // responder's Lamport send stamp, 0 when untraced
 }
 
 // Call performs a synchronous request/response exchange with the remote
@@ -485,6 +498,7 @@ func (e *Endpoint) Call(to SiteID, op string, req any) (any, error) {
 	n.st.Inc(stats.MsgsSent)
 	n.st.Add(stats.BytesSent, int64(payloadSize(req)))
 	n.st.Add(stats.Instructions, costmodel.InstrMsgHandling)
+	reqClock := e.tr.Load().MsgSend(op, "", int(to))
 
 	done := make(chan callResult, 1)
 	go func() {
@@ -501,16 +515,18 @@ func (e *Endpoint) Call(to SiteID, op string, req any) (any, error) {
 		}
 		h, err := dst.handler(op)
 		if err != nil {
-			done <- callResult{nil, err}
+			done <- callResult{err: err}
 			return
 		}
 		n.st.Add(stats.Instructions, costmodel.InstrMsgHandling)
+		dst.tr.Load().MsgRecv(op, "", reqClock)
 		resp, herr := h(e.id, req)
 		if dupReq {
 			// Duplicate delivery: the handler runs a second time with
 			// the same payload; only the first response is returned.
 			// Handlers must be idempotent (section 4.4).
 			n.st.Add(stats.Instructions, costmodel.InstrMsgHandling)
+			dst.tr.Load().MsgRecv(op, "", reqClock)
 			h(e.id, req) //nolint:errcheck // duplicate's result discarded
 		}
 
@@ -518,6 +534,7 @@ func (e *Endpoint) Call(to SiteID, op string, req any) (any, error) {
 		n.st.Inc(stats.MsgsSent)
 		n.st.Add(stats.BytesSent, int64(payloadSize(resp)))
 		n.st.Add(stats.Instructions, costmodel.InstrMsgHandling)
+		respClock := dst.tr.Load().MsgSend(op+":resp", "", int(e.id))
 		if latency > 0 {
 			time.Sleep(latency)
 		}
@@ -525,14 +542,17 @@ func (e *Endpoint) Call(to SiteID, op string, req any) (any, error) {
 			return
 		}
 		if herr != nil {
-			done <- callResult{nil, &RemoteError{Op: op, Site: to, Err: herr}}
+			done <- callResult{err: &RemoteError{Op: op, Site: to, Err: herr}, clock: respClock}
 			return
 		}
-		done <- callResult{resp, nil}
+		done <- callResult{resp: resp, clock: respClock}
 	}()
 
 	select {
 	case r := <-done:
+		if r.clock != 0 {
+			e.tr.Load().MsgRecv(op+":resp", "", r.clock)
+		}
 		return r.resp, r.err
 	case <-time.After(timeout):
 		return nil, fmt.Errorf("%w: %s -> %s (%s)", ErrTimeout, e.id, to, op)
@@ -621,6 +641,7 @@ func (e *Endpoint) Send(to SiteID, op string, req any) {
 	n.st.Inc(stats.MsgsSent)
 	n.st.Add(stats.BytesSent, int64(payloadSize(req)))
 	n.st.Add(stats.Instructions, costmodel.InstrMsgHandling)
+	sendClock := e.tr.Load().MsgSend(op, "", int(to))
 
 	go func() {
 		if latency > 0 {
@@ -634,9 +655,11 @@ func (e *Endpoint) Send(to SiteID, op string, req any) {
 			return
 		}
 		n.st.Add(stats.Instructions, costmodel.InstrMsgHandling)
+		dst.tr.Load().MsgRecv(op, "", sendClock)
 		h(e.id, req) //nolint:errcheck // one-way: result discarded
 		if dup {
 			n.st.Add(stats.Instructions, costmodel.InstrMsgHandling)
+			dst.tr.Load().MsgRecv(op, "", sendClock)
 			h(e.id, req) //nolint:errcheck // duplicate delivery; handlers are idempotent
 		}
 	}()

@@ -96,26 +96,36 @@ var counterNames = [numCounters]string{
 
 	GroupCommitBatches: "group_commit_batches",
 	GroupCommitRecords: "group_commit_records",
-	MsgsSent:         "msgs_sent",
-	BytesSent:        "bytes_sent",
-	RPCs:             "rpcs",
-	LockAcquires:     "lock_acquires",
-	LockReleases:     "lock_releases",
-	LockUpgrades:     "lock_upgrades",
-	LockDenials:      "lock_denials",
-	LockWaits:        "lock_waits",
-	LockCacheHits:    "lock_cache_hits",
-	LockCacheMisses:  "lock_cache_misses",
-	PageCommits:      "page_commits",
-	PageAborts:       "page_aborts",
-	PageDiffs:        "page_diffs",
-	BytesCopied:      "bytes_copied",
-	Syscalls:         "syscalls",
-	Forks:            "forks",
-	Migrations:       "migrations",
-	TxnBegins:        "txn_begins",
-	TxnCommits:       "txn_commits",
-	TxnAborts:        "txn_aborts",
+	MsgsSent:           "msgs_sent",
+	BytesSent:          "bytes_sent",
+	RPCs:               "rpcs",
+	LockAcquires:       "lock_acquires",
+	LockReleases:       "lock_releases",
+	LockUpgrades:       "lock_upgrades",
+	LockDenials:        "lock_denials",
+	LockWaits:          "lock_waits",
+	LockCacheHits:      "lock_cache_hits",
+	LockCacheMisses:    "lock_cache_misses",
+	PageCommits:        "page_commits",
+	PageAborts:         "page_aborts",
+	PageDiffs:          "page_diffs",
+	BytesCopied:        "bytes_copied",
+	Syscalls:           "syscalls",
+	Forks:              "forks",
+	Migrations:         "migrations",
+	TxnBegins:          "txn_begins",
+	TxnCommits:         "txn_commits",
+	TxnAborts:          "txn_aborts",
+}
+
+// CounterByName returns the counter with the given snake_case name.
+func CounterByName(name string) (Counter, bool) {
+	for i, n := range counterNames {
+		if n == name {
+			return Counter(i), true
+		}
+	}
+	return 0, false
 }
 
 // String returns the snake_case name of the counter.
@@ -227,6 +237,27 @@ func (s Snapshot) IsZero() bool {
 		}
 	}
 	return true
+}
+
+// MarshalJSON renders the snapshot as a flat name->value object holding
+// every counter (zeros included, so schemas stay stable across runs).
+// Keys are emitted sorted, making the output canonical: equal snapshots
+// marshal to identical bytes.
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	names := make([]string, numCounters)
+	copy(names, counterNames[:])
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, name := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		c, _ := CounterByName(name)
+		fmt.Fprintf(&b, "%q:%d", name, s[c])
+	}
+	b.WriteByte('}')
+	return []byte(b.String()), nil
 }
 
 // String renders the non-zero counters, sorted by name, as

@@ -1,6 +1,8 @@
 package stats
 
 import (
+	"encoding/json"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -142,4 +144,72 @@ func TestSnapshotAlgebraProperty(t *testing.T) {
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
 	}
+}
+
+func TestCounterByName(t *testing.T) {
+	for i := 0; i < NumCounters(); i++ {
+		c := Counter(i)
+		got, ok := CounterByName(c.String())
+		if !ok || got != c {
+			t.Fatalf("CounterByName(%q) = %v, %v; want %v, true", c.String(), got, ok, c)
+		}
+	}
+	if _, ok := CounterByName("no_such_counter"); ok {
+		t.Fatal("CounterByName accepted an unknown name")
+	}
+}
+
+func TestSnapshotMarshalJSON(t *testing.T) {
+	s := NewSet()
+	s.Add(DiskWrites, 7)
+	s.Inc(TxnCommits)
+	snap := s.Snapshot()
+
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]int64
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("invalid JSON %s: %v", raw, err)
+	}
+	if len(m) != NumCounters() {
+		t.Fatalf("marshalled %d counters, want all %d", len(m), NumCounters())
+	}
+	if m["disk_writes"] != 7 || m["txn_commits"] != 1 || m["rpcs"] != 0 {
+		t.Fatalf("bad values in %s", raw)
+	}
+	// Canonical: equal snapshots marshal identically.
+	raw2, err := json.Marshal(s.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != string(raw2) {
+		t.Fatalf("non-canonical JSON:\n%s\n%s", raw, raw2)
+	}
+	// Keys must be sorted for byte-stable trace artifacts.
+	if !sort.StringsAreSorted(jsonKeysInOrder(t, raw)) {
+		t.Fatalf("keys not sorted: %s", raw)
+	}
+}
+
+// jsonKeysInOrder extracts top-level object keys in their byte order.
+func jsonKeysInOrder(t *testing.T, raw []byte) []string {
+	t.Helper()
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	if _, err := dec.Token(); err != nil { // {
+		t.Fatal(err)
+	}
+	var keys []string
+	for dec.More() {
+		tok, err := dec.Token()
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, tok.(string))
+		if _, err := dec.Token(); err != nil { // value
+			t.Fatal(err)
+		}
+	}
+	return keys
 }

@@ -40,6 +40,7 @@ import (
 	"repro/internal/shadow"
 	"repro/internal/simnet"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Status is a transaction's outcome as recorded in the coordinator log.
@@ -259,6 +260,7 @@ type Coordinator struct {
 	vol  *fs.Volume // holds the coordinator log
 	tr   Transport
 	st   *stats.Set
+	trc  *trace.Tracer // nil disables 2PC phase tracing
 	cfg  Config
 
 	mu      sync.Mutex
@@ -284,6 +286,11 @@ func NewCoordinator(site simnet.SiteID, vol *fs.Volume, tr Transport, st *stats.
 	}
 	return c
 }
+
+// SetTracer attaches an event tracer; the coordinator stamps the 2PC
+// phases (PrepareSent, Voted, TxnCommit/TxnAbort) through it.  Call
+// before the coordinator sees traffic.
+func (c *Coordinator) SetTracer(t *trace.Tracer) { c.trc = t }
 
 // Close stops the phase-two retry timer.  It is idempotent and safe on a
 // coordinator created without one.  Pending phase-two work is not lost:
@@ -326,8 +333,19 @@ func (c *Coordinator) CommitTransaction(txid string, files []proc.FileRef) error
 		return err
 	}
 
-	// Step 2: prepare at every participant, in parallel.
+	// Step 2: prepare at every participant, in parallel.  Trace events
+	// are recorded outside the fan-out, in sorted site order, so a
+	// fixed-seed run's event sequence does not depend on goroutine
+	// scheduling.
 	parts := participants(files)
+	sites := make([]simnet.SiteID, 0, len(parts))
+	for site := range parts {
+		sites = append(sites, site)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	for _, site := range sites {
+		c.trc.Record(trace.PrepareSent, txid, site.String(), int64(len(parts[site])))
+	}
 	type prepResult struct {
 		site simnet.SiteID
 		err  error
@@ -338,12 +356,21 @@ func (c *Coordinator) CommitTransaction(txid string, files []proc.FileRef) error
 			results <- prepResult{site, c.tr.SendPrepare(site, txid, ids, c.site)}
 		}(site, ids)
 	}
+	votes := make(map[simnet.SiteID]error, len(parts))
 	var prepErr error
 	for range parts {
 		r := <-results
+		votes[r.site] = r.err
 		if r.err != nil && prepErr == nil {
 			prepErr = fmt.Errorf("%w: %s: %v", ErrPrepareFailed, r.site, r.err)
 		}
+	}
+	for _, site := range sites {
+		yes := int64(1)
+		if votes[site] != nil {
+			yes = 0
+		}
+		c.trc.Record(trace.Voted, txid, site.String(), yes)
 	}
 	if prepErr != nil {
 		// Abort: flip the marker, tell everyone, clean up.
@@ -355,6 +382,7 @@ func (c *Coordinator) CommitTransaction(txid string, files []proc.FileRef) error
 		c.distributeOutcome(txid, parts, false)
 		c.finish(txid, StatusAborted)
 		c.st.Inc(stats.TxnAborts)
+		c.trc.Record(trace.TxnAbort, txid, "", 0)
 		return prepErr
 	}
 
@@ -364,6 +392,7 @@ func (c *Coordinator) CommitTransaction(txid string, files []proc.FileRef) error
 		// The outcome is undecided on disk; treat as abort.
 		c.distributeOutcome(txid, parts, false)
 		c.finish(txid, StatusAborted)
+		c.trc.Record(trace.TxnAbort, txid, "", 0)
 		return err
 	}
 	c.mu.Lock()
@@ -373,6 +402,7 @@ func (c *Coordinator) CommitTransaction(txid string, files []proc.FileRef) error
 	}
 	c.mu.Unlock()
 	c.st.Inc(stats.TxnCommits)
+	c.trc.Record(trace.TxnCommit, txid, "", int64(len(parts)))
 
 	// Step 4: phase two.
 	if c.cfg.SyncPhase2 {
@@ -394,6 +424,7 @@ func (c *Coordinator) AbortTransaction(txid string, files []proc.FileRef) error 
 	c.done[txid] = StatusAborted
 	c.mu.Unlock()
 	c.st.Inc(stats.TxnAborts)
+	c.trc.Record(trace.TxnAbort, txid, "", 0)
 	return nil
 }
 
@@ -423,6 +454,8 @@ func (c *Coordinator) runPhase2(txid string) {
 		sites = append(sites, s)
 	}
 	c.mu.Unlock()
+	// Deterministic send order keeps fixed-seed traces stable.
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
 
 	for _, site := range sites {
 		if err := c.tr.SendCommit(site, txid); err == nil {

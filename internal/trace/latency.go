@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"sort"
+	"time"
+)
+
+// TxnLatency is the per-transaction timing a merged trace yields: total
+// begin→outcome latency plus the two 2PC phase windows.  Prepare spans
+// the first PrepareSent to the last Voted; Phase2 spans the last Voted
+// to the last CommitApplied.  Zero phases mean the transaction never
+// reached that 2PC step (trivial or aborted commits).
+type TxnLatency struct {
+	Txn       string
+	Committed bool
+	Total     time.Duration
+	Prepare   time.Duration
+	Phase2    time.Duration
+}
+
+// PhaseLatencies reduces a merged trace to one TxnLatency per
+// transaction that has both a TxnBegin and an outcome event, sorted by
+// transaction id for determinism.
+func PhaseLatencies(evs []Event) []TxnLatency {
+	type span struct {
+		begin, outcome           time.Time
+		firstPrep, lastVote      time.Time
+		lastApply                time.Time
+		hasBegin, hasOutcome     bool
+		hasPrep, hasVote, hasApp bool
+		committed                bool
+	}
+	spans := map[string]*span{}
+	get := func(txn string) *span {
+		s := spans[txn]
+		if s == nil {
+			s = &span{}
+			spans[txn] = s
+		}
+		return s
+	}
+	for _, ev := range evs {
+		if ev.Txn == "" {
+			continue
+		}
+		s := get(ev.Txn)
+		switch ev.Type {
+		case TxnBegin:
+			if !s.hasBegin {
+				s.begin, s.hasBegin = ev.Wall, true
+			}
+		case TxnCommit, TxnAbort:
+			s.outcome, s.hasOutcome = ev.Wall, true
+			s.committed = ev.Type == TxnCommit
+		case PrepareSent:
+			if !s.hasPrep {
+				s.firstPrep, s.hasPrep = ev.Wall, true
+			}
+		case Voted:
+			s.lastVote, s.hasVote = ev.Wall, true
+		case CommitApplied:
+			s.lastApply, s.hasApp = ev.Wall, true
+		}
+	}
+	var out []TxnLatency
+	for txn, s := range spans {
+		if !s.hasBegin || !s.hasOutcome {
+			continue
+		}
+		tl := TxnLatency{Txn: txn, Committed: s.committed, Total: s.outcome.Sub(s.begin)}
+		if s.hasPrep && s.hasVote {
+			tl.Prepare = s.lastVote.Sub(s.firstPrep)
+		}
+		if s.hasVote && s.hasApp {
+			tl.Phase2 = s.lastApply.Sub(s.lastVote)
+		}
+		out = append(out, tl)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Txn < out[j].Txn })
+	return out
+}
+
+// Histogram summarizes a set of durations at the percentiles the bench
+// harness reports.
+type Histogram struct {
+	Count         int
+	P50, P95, P99 time.Duration
+}
+
+// NewHistogram sorts a copy of ds and extracts p50/p95/p99 by
+// nearest-rank.  A zero-length input yields a zero Histogram.
+func NewHistogram(ds []time.Duration) Histogram {
+	if len(ds) == 0 {
+		return Histogram{}
+	}
+	s := make([]time.Duration, len(ds))
+	copy(s, ds)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	pct := func(p float64) time.Duration {
+		i := int(float64(len(s)-1) * p)
+		return s[i]
+	}
+	return Histogram{Count: len(s), P50: pct(0.50), P95: pct(0.95), P99: pct(0.99)}
+}
+
+// LatencyHistograms reduces PhaseLatencies output to overall / prepare /
+// phase-2 histograms over committed transactions.
+func LatencyHistograms(lats []TxnLatency) (total, prepare, phase2 Histogram) {
+	var ts, ps, p2 []time.Duration
+	for _, l := range lats {
+		if !l.Committed {
+			continue
+		}
+		ts = append(ts, l.Total)
+		if l.Prepare > 0 {
+			ps = append(ps, l.Prepare)
+		}
+		if l.Phase2 > 0 {
+			p2 = append(p2, l.Phase2)
+		}
+	}
+	return NewHistogram(ts), NewHistogram(ps), NewHistogram(p2)
+}

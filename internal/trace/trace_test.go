@@ -1,0 +1,233 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// A nil Tracer and a nil Collector must absorb every call.
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	tr.Record(TxnBegin, "t1", "x", 0)
+	if c := tr.MsgSend("op", "t1", 2); c != 0 {
+		t.Fatalf("nil MsgSend clock = %d, want 0", c)
+	}
+	tr.MsgRecv("op", "t1", 5)
+	if got := tr.Events(); got != nil {
+		t.Fatalf("nil Events = %v, want nil", got)
+	}
+	if tr.Site() != -1 || tr.Clock() != 0 {
+		t.Fatalf("nil accessors: site=%d clock=%d", tr.Site(), tr.Clock())
+	}
+
+	var c *Collector
+	if c.Site(3) != nil {
+		t.Fatal("nil Collector.Site should return nil tracer")
+	}
+	if c.Events() != nil || c.LastTouching("x", 10) != nil {
+		t.Fatal("nil Collector queries should return nil")
+	}
+}
+
+func TestRingOverwrite(t *testing.T) {
+	tr := NewTracer(0, 16)
+	for i := 0; i < 40; i++ {
+		tr.Record(LockGrant, "", "f", int64(i))
+	}
+	evs := tr.Events()
+	if len(evs) != 16 {
+		t.Fatalf("ring kept %d events, want 16", len(evs))
+	}
+	// Oldest 24 overwritten; survivors are args 24..39 in order.
+	for i, ev := range evs {
+		if want := int64(24 + i); ev.Arg != want {
+			t.Fatalf("event %d arg = %d, want %d", i, ev.Arg, want)
+		}
+	}
+}
+
+func TestRingSizeRounding(t *testing.T) {
+	tr := NewTracer(0, 100) // rounds up to 128
+	for i := 0; i < 200; i++ {
+		tr.Record(PageWrite, "", "", int64(i))
+	}
+	if got := len(tr.Events()); got != 128 {
+		t.Fatalf("ring size = %d, want 128", got)
+	}
+}
+
+func TestLamportMerge(t *testing.T) {
+	c := NewCollector(64)
+	a, b := c.Site(1), c.Site(2)
+	for i := 0; i < 5; i++ {
+		a.Record(LockGrant, "", "x", 0)
+	}
+	sent := a.MsgSend("open", "t1", 2)
+	if sent != 6 {
+		t.Fatalf("send clock = %d, want 6", sent)
+	}
+	b.MsgRecv("open", "t1", sent)
+	if got := b.Clock(); got != sent+1 {
+		t.Fatalf("recv clock = %d, want %d", got, sent+1)
+	}
+	evs := c.Events()
+	// The MsgRecv must sort after the MsgSend in the merged order.
+	var si, ri = -1, -1
+	for i, ev := range evs {
+		switch ev.Type {
+		case MsgSend:
+			si = i
+		case MsgRecv:
+			ri = i
+			if ev.Clock <= uint64(ev.Arg) {
+				t.Fatalf("recv clock %d not > sent %d", ev.Clock, ev.Arg)
+			}
+		}
+	}
+	if si == -1 || ri == -1 || ri < si {
+		t.Fatalf("causal order violated: send@%d recv@%d", si, ri)
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	tr := NewTracer(0, 1024)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Record(LockRequest, "t", "f", int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	evs := tr.Events()
+	if len(evs) != 1024 {
+		t.Fatalf("ring holds %d, want 1024", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("events not seq-ordered at %d", i)
+		}
+	}
+}
+
+func TestCanonicalExcludesWall(t *testing.T) {
+	ev := []Event{{Seq: 1, Clock: 3, Site: 0, Type: TxnBegin, Txn: "t1", Wall: time.Unix(100, 0)}}
+	ev2 := []Event{{Seq: 1, Clock: 3, Site: 0, Type: TxnBegin, Txn: "t1", Wall: time.Unix(999, 0)}}
+	if !bytes.Equal(Canonical(ev), Canonical(ev2)) {
+		t.Fatal("canonical form must not depend on wall time")
+	}
+}
+
+func TestLastTouching(t *testing.T) {
+	c := NewCollector(64)
+	tr := c.Site(0)
+	tr.Record(TxnBegin, "t1", "", 0)
+	tr.Record(LockGrant, "t1", "a/file", 0)
+	tr.Record(TxnBegin, "t2", "", 0)
+	tr.Record(LockGrant, "t2", "b/other", 0)
+	tr.Record(TxnCommit, "t1", "", 0)
+
+	got := c.LastTouching("a/file", 10)
+	if len(got) != 3 {
+		t.Fatalf("LastTouching returned %d events, want 3 (t1 begin/grant/commit)", len(got))
+	}
+	for _, ev := range got {
+		if ev.Txn != "t1" {
+			t.Fatalf("unrelated txn %q in forensics slice", ev.Txn)
+		}
+	}
+	// Tail truncation.
+	if got := c.LastTouching("a/file", 2); len(got) != 2 || got[1].Type != TxnCommit {
+		t.Fatalf("tail truncation wrong: %v", got)
+	}
+}
+
+func TestWriteChromeStructure(t *testing.T) {
+	c := NewCollector(64)
+	tr := c.Site(0)
+	tr.Record(TxnBegin, "t1", "", 0)
+	tr.Record(LockGrant, "t1", "f", 0)
+	tr.Record(TxnCommit, "t1", "", 0)
+	c.Site(1).Record(Recovery, "", "", 0)
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, c.Events()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome output is not valid JSON: %v", err)
+	}
+	var begins, ends, instants, meta int
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		if _, ok := ev["pid"].(float64); !ok {
+			t.Fatalf("event missing numeric pid: %v", ev)
+		}
+		switch ph {
+		case "b":
+			begins++
+			if ev["id"] != "t1" {
+				t.Fatalf("async begin id = %v, want t1", ev["id"])
+			}
+		case "e":
+			ends++
+		case "i":
+			instants++
+		case "M":
+			meta++
+		default:
+			t.Fatalf("unexpected phase %q", ph)
+		}
+	}
+	if begins != 1 || ends != 1 {
+		t.Fatalf("txn span events: %d begins, %d ends, want 1/1", begins, ends)
+	}
+	if instants != 4 {
+		t.Fatalf("instants = %d, want 4", instants)
+	}
+	if meta != 2 {
+		t.Fatalf("process_name metadata = %d, want 2 (two sites)", meta)
+	}
+}
+
+func TestTimelineAndPhaseLatencies(t *testing.T) {
+	base := time.Unix(0, 0)
+	evs := []Event{
+		{Clock: 1, Type: TxnBegin, Txn: "t1", Wall: base},
+		{Clock: 2, Type: PrepareSent, Txn: "t1", Wall: base.Add(1 * time.Millisecond)},
+		{Clock: 3, Type: Voted, Txn: "t1", Wall: base.Add(3 * time.Millisecond)},
+		{Clock: 4, Type: TxnCommit, Txn: "t1", Wall: base.Add(4 * time.Millisecond)},
+		{Clock: 5, Type: CommitApplied, Txn: "t1", Wall: base.Add(6 * time.Millisecond)},
+	}
+	lats := PhaseLatencies(evs)
+	if len(lats) != 1 {
+		t.Fatalf("got %d latencies, want 1", len(lats))
+	}
+	l := lats[0]
+	if !l.Committed || l.Total != 4*time.Millisecond || l.Prepare != 2*time.Millisecond || l.Phase2 != 3*time.Millisecond {
+		t.Fatalf("latency = %+v", l)
+	}
+	total, prep, p2 := LatencyHistograms(lats)
+	if total.Count != 1 || prep.P50 != 2*time.Millisecond || p2.P99 != 3*time.Millisecond {
+		t.Fatalf("histograms: %+v %+v %+v", total, prep, p2)
+	}
+
+	var buf bytes.Buffer
+	if err := Timeline(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "txn_begin") || !strings.Contains(out, "txn=t1") {
+		t.Fatalf("timeline missing expected fields:\n%s", out)
+	}
+}

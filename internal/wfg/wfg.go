@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/lockmgr"
+	"repro/internal/trace"
 )
 
 // Graph is a wait-for graph over lock groups.
@@ -212,6 +213,10 @@ type Detector struct {
 	Policy Policy
 	// OnVictim is invoked once per victim found in a scan.
 	OnVictim func(group string, cycle []string)
+	// Tracer, when set, records the victim's full cycle as
+	// DeadlockVictim events (one per cycle member, the victim first),
+	// closing the loop between detection and trace forensics.
+	Tracer *trace.Tracer
 
 	mu      sync.Mutex
 	stopped chan struct{}
@@ -236,6 +241,14 @@ func (d *Detector) Step() []string {
 		}
 		seen[v] = true
 		victims = append(victims, v)
+		// One event per cycle member so the trace shows the whole loop;
+		// the victim leads and Arg counts the cycle length.
+		d.Tracer.Record(trace.DeadlockVictim, v, v, int64(len(c)))
+		for _, member := range c {
+			if member != v {
+				d.Tracer.Record(trace.DeadlockVictim, v, member, int64(len(c)))
+			}
+		}
 		if d.OnVictim != nil {
 			d.OnVictim(v, c)
 		}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/lockmgr"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 func edge(w, h, f string) lockmgr.WaitEdge {
@@ -265,5 +266,55 @@ func TestCycleDetectionMatchesReferenceProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestDetectorEmitsVictimCycleTrace(t *testing.T) {
+	col := trace.NewCollector(0)
+	d := &Detector{
+		Collect: func() []lockmgr.WaitEdge {
+			return []lockmgr.WaitEdge{
+				edge("txn:1", "txn:2", "f1"),
+				edge("txn:2", "txn:1", "f2"),
+			}
+		},
+		Tracer: col.Site(0),
+	}
+	victims := d.Step()
+	if !reflect.DeepEqual(victims, []string{"txn:2"}) {
+		t.Fatalf("victims = %v, want [txn:2]", victims)
+	}
+	var evs []trace.Event
+	for _, ev := range col.Events() {
+		if ev.Type == trace.DeadlockVictim {
+			evs = append(evs, ev)
+		}
+	}
+	if len(evs) != 2 {
+		t.Fatalf("DeadlockVictim events = %d, want 2 (one per cycle member)", len(evs))
+	}
+	// Victim leads, then the other cycle members; every event names the
+	// victim in Txn and the cycle length in Arg.
+	if evs[0].Object != "txn:2" || evs[1].Object != "txn:1" {
+		t.Fatalf("cycle objects = %q, %q; want victim txn:2 first then txn:1", evs[0].Object, evs[1].Object)
+	}
+	for _, ev := range evs {
+		if ev.Txn != "txn:2" {
+			t.Fatalf("event Txn = %q, want victim txn:2", ev.Txn)
+		}
+		if ev.Arg != 2 {
+			t.Fatalf("event Arg = %d, want cycle length 2", ev.Arg)
+		}
+	}
+}
+
+func TestDetectorNilTracer(t *testing.T) {
+	d := &Detector{
+		Collect: func() []lockmgr.WaitEdge {
+			return []lockmgr.WaitEdge{edge("txn:9", "txn:9", "f")}
+		},
+	}
+	if got := d.Step(); !reflect.DeepEqual(got, []string{"txn:9"}) {
+		t.Fatalf("victims = %v, want [txn:9]", got)
 	}
 }
