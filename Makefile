@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test race bench chaos trace experiments examples tools clean
+.PHONY: all test race bench chaos probe trace experiments examples tools clean
 
 all: test
 
@@ -17,6 +17,10 @@ bench:           ## regenerate every paper table/figure via testing.B
 
 chaos:           ## 20-seed fault-injection sweep with the section 5 audit
 	$(GO) run ./cmd/locuschaos -sweep 20 -duration 1s
+
+probe:           ## exhaustive crash-point matrix (DESIGN.md section 9), race-enabled
+	$(GO) run -race ./cmd/locusprobe -forensics probe-forensics.txt
+	$(GO) test -race ./internal/crashprobe
 
 trace:           ## causal timeline of a small cross-site workload + Chrome export
 	$(GO) run ./cmd/locustrace -txns 3

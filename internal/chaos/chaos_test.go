@@ -64,6 +64,49 @@ func TestScheduleRoundTrip(t *testing.T) {
 	}
 }
 
+func TestArmCrashFault(t *testing.T) {
+	sched, err := ParseSchedule("100ms:armcrash:2@17,400ms:restart:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched) != 2 || sched[0].Kind != FaultCrashWrites ||
+		sched[0].Site != 2 || sched[0].N != 17 {
+		t.Fatalf("parsed schedule = %+v", sched)
+	}
+	if got := sched[0].String(); got != "100ms:armcrash:2@17" {
+		t.Fatalf("armcrash did not round-trip: %q", got)
+	}
+	for _, bad := range []string{"100ms:armcrash:2", "100ms:armcrash:2@-1", "100ms:armcrash"} {
+		if _, err := ParseSchedule(bad); err == nil {
+			t.Errorf("ParseSchedule(%q) accepted garbage", bad)
+		}
+	}
+}
+
+// TestRunArmCrash drives a run whose only faults are write-budget
+// crashes: each victim site's disks fail mid-commit at an instant the
+// workload's own I/O determines, the monitor takes the site down, and
+// the audit must still find every invariant intact.
+func TestRunArmCrash(t *testing.T) {
+	sched, err := ParseSchedule("50ms:armcrash:2@25,250ms:restart:2,300ms:armcrash:3@10,500ms:restart:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Options{
+		Seed:     5,
+		Duration: 600 * time.Millisecond,
+		Sites:    3,
+		Workers:  4,
+		Schedule: sched,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("invariant violations under armcrash:\n%s", res.Report(true))
+	}
+}
+
 // TestRunShort is the deterministic smoke run wired into go test: a small
 // cluster, a fixed seed, every fault kind, and the full section 5 audit.
 func TestRunShort(t *testing.T) {

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/simdisk"
 	"repro/internal/simnet"
 	"repro/internal/trace"
 )
@@ -147,6 +148,8 @@ type engine struct {
 	total     int64
 	commits   atomic.Int64
 	aborts    atomic.Int64
+	stop      chan struct{}  // closed at end of the workload window
+	monWG     sync.WaitGroup // armcrash monitors: disk tripped -> site down
 }
 
 // forensicsDepth bounds how many trailing events a violation report
@@ -238,6 +241,7 @@ func Run(opts Options) (*Result, error) {
 
 	// Workload + fault injection.
 	stop := make(chan struct{})
+	e.stop = stop
 	var wg sync.WaitGroup
 	for w := 0; w < opts.Workers; w++ {
 		wg.Add(1)
@@ -271,6 +275,7 @@ func Run(opts Options) (*Result, error) {
 	close(stop)
 	wg.Wait()
 	<-schedDone
+	e.monWG.Wait()
 
 	if err := e.quiesce(); err != nil {
 		return nil, err
@@ -497,6 +502,23 @@ func (e *engine) apply(f Fault) {
 			}
 			s.Crash()
 		}
+	case FaultCrashWrites:
+		if s := cl.Site(f.Site); s != nil && s.Up() {
+			var disks []*simdisk.Disk
+			for _, name := range s.Volumes() {
+				if v := s.Volume(name); v != nil {
+					disks = append(disks, v.Disk())
+				}
+			}
+			for _, d := range disks {
+				d.CrashAfterWrites(f.N)
+			}
+			// The crash fires inside whatever write exhausts the budget;
+			// a monitor turns the media failure into the site failure the
+			// rest of the schedule (and its restart) expects.
+			e.monWG.Add(1)
+			go e.watchArmedDisks(f.Site, disks)
+		}
 	case FaultRestart:
 		if s := cl.Site(f.Site); s != nil && !s.Up() {
 			if err := s.Restart(); err != nil {
@@ -517,6 +539,31 @@ func (e *engine) apply(f Fault) {
 		net.SetDupRate(f.Rate)
 	case FaultLatency:
 		net.SetLatency(f.Dur)
+	}
+}
+
+// watchArmedDisks polls a site's armed disks until one trips (then the
+// site goes down with its failed media) or the workload window closes
+// (the budget outlived the run; quiesce's restart disarms it).
+func (e *engine) watchArmedDisks(site simnet.SiteID, disks []*simdisk.Disk) {
+	defer e.monWG.Done()
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-tick.C:
+			for _, d := range disks {
+				if d.Crashed() {
+					if s := e.sys.Cluster().Site(site); s != nil && s.Up() {
+						e.logf("armcrash fired at site %d (disk %s)", site, d.Name())
+						s.Crash()
+					}
+					return
+				}
+			}
+		}
 	}
 }
 

@@ -48,6 +48,12 @@ const (
 	FaultDup
 	// FaultLatency sets the per-message network latency.
 	FaultLatency
+	// FaultCrashWrites arms a crashprobe-style deterministic fault on
+	// every disk of a site: N more stable page writes succeed, then the
+	// disk fails mid-write and the site goes down with it.  Unlike
+	// FaultCrash the instant is defined by the workload's own I/O, so
+	// the crash lands inside whatever commit is in flight.
+	FaultCrashWrites
 )
 
 var kindNames = map[FaultKind]string{
@@ -61,6 +67,7 @@ var kindNames = map[FaultKind]string{
 	FaultDrop:        "drop",
 	FaultDup:         "dup",
 	FaultLatency:     "latency",
+	FaultCrashWrites: "armcrash",
 }
 
 func (k FaultKind) String() string {
@@ -78,6 +85,7 @@ type Fault struct {
 	To   simnet.SiteID // block/unblock destination
 	Rate float64       // drop/dup probability
 	Dur  time.Duration // latency value
+	N    int           // armcrash stable-write budget
 }
 
 // String renders the fault the way ParseSchedule reads it back.
@@ -92,6 +100,8 @@ func (f Fault) String() string {
 		s += fmt.Sprintf(":%g", f.Rate)
 	case FaultLatency:
 		s += fmt.Sprintf(":%s", f.Dur)
+	case FaultCrashWrites:
+		s += fmt.Sprintf(":%d@%d", f.Site, f.N)
 	}
 	return s
 }
@@ -184,6 +194,13 @@ func ParseSchedule(s string) (Schedule, error) {
 				return nil, fmt.Errorf("chaos: latency needs a duration, got %q", arg)
 			}
 			f.Dur = d
+		case FaultCrashWrites:
+			var site, n int
+			if _, err := fmt.Sscanf(arg, "%d@%d", &site, &n); err != nil || n < 0 {
+				return nil, fmt.Errorf("chaos: %s needs site@writes, got %q", kind, arg)
+			}
+			f.Site = simnet.SiteID(site)
+			f.N = n
 		case FaultHeal:
 			// no argument
 		}
@@ -199,8 +216,9 @@ type FaultSet map[FaultKind]bool
 // DefaultFaults enables every fault kind.
 func DefaultFaults() FaultSet {
 	return FaultSet{
-		FaultCrash: true, FaultDiskCrash: true, FaultPartition: true,
-		FaultBlockLink: true, FaultDrop: true, FaultDup: true, FaultLatency: true,
+		FaultCrash: true, FaultDiskCrash: true, FaultCrashWrites: true,
+		FaultPartition: true, FaultBlockLink: true,
+		FaultDrop: true, FaultDup: true, FaultLatency: true,
 	}
 }
 
@@ -286,12 +304,18 @@ func GenSchedule(seed int64, duration time.Duration, sites []simnet.SiteID, enab
 	for t := jitter(step); t < duration; t += jitter(step) {
 		k := kinds[rng.Intn(len(kinds))]
 		switch k {
-		case FaultCrash, FaultDiskCrash:
+		case FaultCrash, FaultDiskCrash, FaultCrashWrites:
 			if t < downUntil {
 				continue // wait for the previous victim's restart
 			}
 			victim := pickSite(0)
-			sched = append(sched, Fault{At: t, Kind: k, Site: victim})
+			f := Fault{At: t, Kind: k, Site: victim}
+			if k == FaultCrashWrites {
+				// A small budget so the crash lands inside commits the
+				// live workload is running right now.
+				f.N = 2 + rng.Intn(40)
+			}
+			sched = append(sched, f)
 			// Down for one to three steps, restart inside the window.
 			back := t + jitter(2*step)
 			if back >= duration {

@@ -195,11 +195,16 @@ func (s *Site) handleCommit2(req commit2Req) error {
 			}
 		}
 	}
+	// The prepared entry also survives a failed finish (prepare-record
+	// deletion), so a coordinator retry re-drives it; only after the
+	// finish is durable is the ack (nil return) sent.
+	if err := s.finishTxn(req.Txid, pt.fileIDs); err != nil {
+		return fail(err)
+	}
 	s.mu.Lock()
 	delete(s.prepared, req.Txid)
 	s.mu.Unlock()
 	s.tr.Record(trace.CommitApplied, req.Txid, "", int64(len(pt.fileIDs)))
-	s.finishTxn(req.Txid, pt.fileIDs)
 	return nil
 }
 
@@ -250,20 +255,27 @@ func (s *Site) handleAbortTxn(req abortTxnReq) error {
 	var fileIDs []string
 	if pt != nil {
 		fileIDs = pt.fileIDs
+	}
+	if err := s.finishTxn(req.Txid, fileIDs); err != nil {
+		return fail(err)
+	}
+	if pt != nil {
 		s.mu.Lock()
 		delete(s.prepared, req.Txid)
 		s.mu.Unlock()
 	}
-	s.finishTxn(req.Txid, fileIDs)
 	return nil
 }
 
-// finishTxn releases the transaction's locks everywhere at this site and
-// clears its prepare records.
-func (s *Site) finishTxn(txid string, fileIDs []string) {
-	s.locks.ReleaseGroup(TxnGroup(txid))
-	s.invalidateCacheGroup(TxnGroup(txid))
-
+// finishTxn durably clears the transaction's prepare records at this
+// site, then releases its locks.  That order is load-bearing: the moment
+// the retained locks release, other transactions may commit over the
+// ranges, and a stale prepare record surviving a later crash would let
+// recovery replay this transaction's old intentions on top of their
+// newer committed data.  A deletion failure is returned - not swallowed -
+// so the participant's phase-two ack can only be sent once nothing is
+// left on disk for recovery to re-resolve.
+func (s *Site) finishTxn(txid string, fileIDs []string) error {
 	s.mu.Lock()
 	vols := make([]*volState, 0, len(s.vols))
 	for _, vs := range s.vols {
@@ -271,8 +283,12 @@ func (s *Site) finishTxn(txid string, fileIDs []string) {
 	}
 	s.mu.Unlock()
 	for _, vs := range vols {
-		tpc.DeletePrepareRecords(vs.vol, txid) //nolint:errcheck // best effort; recovery re-resolves leftovers
+		if err := tpc.DeletePrepareRecords(vs.vol, txid); err != nil {
+			return fmt.Errorf("cluster: clearing prepare records for %s on %s: %w", txid, vs.name, err)
+		}
 	}
+	s.locks.ReleaseGroup(TxnGroup(txid))
+	s.invalidateCacheGroup(TxnGroup(txid))
 	// Propagate committed contents to replicas of quiesced files, then
 	// retire idle open files the transaction was keeping alive.
 	s.mu.Lock()
@@ -293,6 +309,7 @@ func (s *Site) finishTxn(txid string, fileIDs []string) {
 	}
 	s.mu.Unlock()
 	_ = fileIDs
+	return nil
 }
 
 // handleStatus answers an in-doubt participant's query against this

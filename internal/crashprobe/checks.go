@@ -1,0 +1,145 @@
+package crashprobe
+
+import (
+	"fmt"
+
+	"repro/internal/lockmgr"
+	"repro/internal/tpc"
+)
+
+// checkRecovered audits the DESIGN.md section 5 recovery invariants on a
+// fully recovered, drained cluster: nothing in doubt, no phase-two
+// residue, logs well-formed and reclaimed, lock tables empty, and every
+// volume's page allocator in agreement with its inodes.  These are the
+// same invariants internal/chaos audits after a randomized run; here
+// they run after every enumerated crash point.
+func checkRecovered(h *harness) []string {
+	var out []string
+	out = append(out, checkResolution(h)...)
+	out = append(out, checkLocks(h)...)
+	out = append(out, checkAllocators(h)...)
+	return out
+}
+
+// checkResolution: after recovery plus resolution no transaction may
+// remain in doubt anywhere, and every volume log must be readable (no
+// torn records) and fully reclaimed (section 4.4).
+func checkResolution(h *harness) []string {
+	var out []string
+	for i := 1; i <= h.n; i++ {
+		s := h.site(i)
+		if n := s.InDoubtCount(); n != 0 {
+			out = append(out, fmt.Sprintf("site %d: %d transactions still in doubt", i, n))
+		}
+		if coord, err := s.Coordinator(); err == nil {
+			if n := coord.PendingCount(); n != 0 {
+				out = append(out, fmt.Sprintf("site %d: coordinator has %d transactions pending phase two", i, n))
+			}
+		}
+		for _, name := range s.Volumes() {
+			vol := s.Volume(name)
+			if _, err := vol.Log().Records(); err != nil {
+				out = append(out, fmt.Sprintf("site %d %s: torn log record survived recovery: %v", i, name, err))
+			}
+			if recs, err := tpc.ReadPrepareRecords(vol); err != nil {
+				out = append(out, fmt.Sprintf("site %d %s: reading prepare records: %v", i, name, err))
+			} else if len(recs) != 0 {
+				out = append(out, fmt.Sprintf("site %d %s: %d residual prepare records", i, name, len(recs)))
+			}
+			if keys := vol.Log().Keys(); len(keys) != 0 {
+				out = append(out, fmt.Sprintf("site %d %s: log not reclaimed: %v", i, name, keys))
+			}
+		}
+	}
+	return out
+}
+
+// checkLocks: with every transaction resolved, the lock tables must be
+// empty - retained locks exist only for live or in-doubt transactions
+// (section 3.3) - and in any case conflict-free.
+func checkLocks(h *harness) []string {
+	var out []string
+	for i := 1; i <= h.n; i++ {
+		lm := h.site(i).Locks()
+		for _, fid := range lm.Files() {
+			fl := lm.Lookup(fid)
+			if fl == nil {
+				continue
+			}
+			entries := fl.Entries()
+			for _, en := range entries {
+				out = append(out, fmt.Sprintf("site %d %s: residual %v lock %s [%d,%d) after recovery",
+					i, fid, en.Mode, en.Holder.Group(), en.Off, en.Off+en.Len))
+			}
+			for a := 0; a < len(entries); a++ {
+				for b := a + 1; b < len(entries); b++ {
+					ea, eb := entries[a], entries[b]
+					if ea.Holder.Group() == eb.Holder.Group() {
+						continue
+					}
+					if ea.Mode != lockmgr.ModeExclusive && eb.Mode != lockmgr.ModeExclusive {
+						continue
+					}
+					if ea.Off < eb.Off+eb.Len && eb.Off < ea.Off+ea.Len {
+						out = append(out, fmt.Sprintf("site %d %s: conflicting grants %s %v [%d,%d) vs %s %v [%d,%d)",
+							i, fid,
+							ea.Holder.Group(), ea.Mode, ea.Off, ea.Off+ea.Len,
+							eb.Holder.Group(), eb.Mode, eb.Off, eb.Off+eb.Len))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkAllocators: each volume's allocator must agree with its inodes -
+// every referenced page allocated and in range, no page referenced
+// twice, no allocated page unreferenced (a crash point that leaks pages
+// strands them forever).
+func checkAllocators(h *harness) []string {
+	var out []string
+	for i := 1; i <= h.n; i++ {
+		s := h.site(i)
+		for _, name := range s.Volumes() {
+			vol := s.Volume(name)
+			geo := vol.Geometry()
+			ref := map[int]int{}
+			for _, ino := range vol.Inodes() {
+				node, err := vol.ReadInode(ino)
+				if err != nil {
+					out = append(out, fmt.Sprintf("%s ino %d: unreadable after recovery: %v", name, ino, err))
+					continue
+				}
+				pages := node.Pages
+				if node.Indirect >= 0 {
+					pages = append(append([]int{}, pages...), node.Indirect)
+				}
+				for _, pg := range pages {
+					if pg < 0 {
+						continue // hole
+					}
+					if pg < geo.DataStart || pg >= geo.NumPages {
+						out = append(out, fmt.Sprintf("%s ino %d: page %d outside data region [%d,%d)",
+							name, ino, pg, geo.DataStart, geo.NumPages))
+						continue
+					}
+					if prev, dup := ref[pg]; dup {
+						out = append(out, fmt.Sprintf("%s: page %d referenced by both ino %d and ino %d",
+							name, pg, prev, ino))
+					}
+					ref[pg] = ino
+					if !vol.PageAllocated(pg) {
+						out = append(out, fmt.Sprintf("%s ino %d: references free page %d", name, ino, pg))
+					}
+				}
+			}
+			for pg := geo.DataStart; pg < geo.NumPages; pg++ {
+				if _, ok := ref[pg]; !ok && vol.PageAllocated(pg) {
+					out = append(out, fmt.Sprintf("%s: page %d allocated but referenced by no inode", name, pg))
+				}
+			}
+		}
+	}
+	return out
+}

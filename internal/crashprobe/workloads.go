@@ -1,0 +1,429 @@
+package crashprobe
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/simnet"
+)
+
+// The four workloads cover the four commit shapes of the paper:
+//
+//	single  - single-file commit on one site (Figure 4(a) direct path:
+//	          shadow pages flushed, one inode write is the commit point)
+//	diff    - commit of a page shared with a non-transaction co-owner's
+//	          uncommitted bytes (Figure 4(b) page differencing: the
+//	          committed image is merged onto the stable previous version)
+//	tpc     - two files on two storage sites, committed from a third:
+//	          full two-phase commit with a coordinator log
+//	migrate - a transaction whose member process forks to a second site
+//	          and whose top-level process migrates there before EndTrans,
+//	          so the coordinator is not the origin site
+//
+// Each run is serial and deterministic: every replay performs the same
+// stable writes in the same order until the armed crash fires.
+
+// Baseline and target images.  Sizes straddle page boundaries on
+// purpose: pre is a page and a half, post two pages and change, so
+// commits exercise partial-page tails and file extension.
+var (
+	preImage  = bytes.Repeat([]byte{'A'}, 1500)
+	postImage = bytes.Repeat([]byte{'B'}, 2600)
+)
+
+// commitFile creates path and commits image into it.
+func commitFile(p *core.Process, path string, image []byte) error {
+	f, err := p.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() //nolint:errcheck
+	if _, err := p.BeginTrans(); err != nil {
+		return err
+	}
+	if _, err := f.WriteAt(image, 0); err != nil {
+		p.AbortTrans() //nolint:errcheck
+		return err
+	}
+	return p.EndTrans()
+}
+
+// readCommittedPath returns a file's committed contents via a fresh
+// non-transaction read.
+func readCommittedPath(h *harness, path string) ([]byte, error) {
+	p, err := h.sys.NewProcess(1)
+	if err != nil {
+		return nil, err
+	}
+	f, err := p.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() //nolint:errcheck
+	cs, err := f.CommittedSize()
+	if err != nil {
+		return nil, err
+	}
+	if cs == 0 {
+		return nil, nil
+	}
+	buf := make([]byte, cs)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// classify names a committed image against the expected before/after
+// states; anything else is an atomicity violation.
+func classify(got, pre, post []byte) string {
+	switch {
+	case bytes.Equal(got, pre):
+		return "pre"
+	case bytes.Equal(got, post):
+		return "post"
+	default:
+		return fmt.Sprintf("torn(len=%d)", len(got))
+	}
+}
+
+// checkAllOrNothing audits one file against pre/post and the confirmed
+// flag; the returned state is "pre" or "post" when the file is intact.
+func checkAllOrNothing(h *harness, path string, pre, post []byte, confirmed bool) (string, []string) {
+	got, err := readCommittedPath(h, path)
+	if err != nil {
+		return "unreadable", []string{fmt.Sprintf("%s: committed read failed after recovery: %v", path, err)}
+	}
+	state := classify(got, pre, post)
+	var violations []string
+	if state != "pre" && state != "post" {
+		violations = append(violations,
+			fmt.Sprintf("%s: committed content is neither the old nor the new image (%s)", path, state))
+	}
+	if confirmed && state == "pre" {
+		violations = append(violations,
+			fmt.Sprintf("%s: commit was confirmed to the client but recovery reverted it", path))
+	}
+	return state, violations
+}
+
+// ---------------------------------------------------------------------
+// single: single-file commit on one site.
+
+type singleWL struct{}
+
+func (*singleWL) name() string    { return "single" }
+func (*singleWL) sites() int      { return 1 }
+func (*singleWL) paths() []string { return []string{"v1/f"} }
+
+func (*singleWL) setup(h *harness) error {
+	p, err := h.sys.NewProcess(1)
+	if err != nil {
+		return err
+	}
+	return commitFile(p, "v1/f", preImage)
+}
+
+func (*singleWL) run(h *harness) bool {
+	p, err := h.sys.NewProcess(1)
+	if err != nil {
+		return false
+	}
+	f, err := p.Open("v1/f")
+	if err != nil {
+		return false
+	}
+	if _, err := p.BeginTrans(); err != nil {
+		return false
+	}
+	if _, err := f.WriteAt(postImage, 0); err != nil {
+		p.AbortTrans() //nolint:errcheck // crash-path rollback is best effort
+		return false
+	}
+	return p.EndTrans() == nil
+}
+
+func (*singleWL) check(h *harness, confirmed bool) (string, []string) {
+	return checkAllOrNothing(h, "v1/f", preImage, postImage, confirmed)
+}
+
+func (*singleWL) cleanup(*harness) {}
+
+// ---------------------------------------------------------------------
+// diff: commit of a page shared with a co-owner (Figure 4(b)).
+
+const (
+	coOff = 512 // co-owner's uncommitted range on the shared page
+	coLen = 100
+	txLen = 100 // transaction's range at offset 0 on the same page
+)
+
+type diffWL struct {
+	coOwner *core.Process
+	coFile  *core.File
+}
+
+func (*diffWL) name() string    { return "diff" }
+func (*diffWL) sites() int      { return 1 }
+func (*diffWL) paths() []string { return []string{"v1/f"} }
+
+// diffPre is exactly one page of 'A': the shared page.
+var diffPre = bytes.Repeat([]byte{'A'}, 1024)
+
+func (w *diffWL) setup(h *harness) error {
+	p, err := h.sys.NewProcess(1)
+	if err != nil {
+		return err
+	}
+	if err := commitFile(p, "v1/f", diffPre); err != nil {
+		return err
+	}
+	// The co-owner holds uncommitted bytes on the same page and keeps
+	// the file open, forcing the transaction's commit onto the page-
+	// differencing path: its committed image must merge only the
+	// transaction's ranges onto the stable previous version.
+	co, err := h.sys.NewProcess(1)
+	if err != nil {
+		return err
+	}
+	cf, err := co.Open("v1/f")
+	if err != nil {
+		return err
+	}
+	if _, err := cf.WriteAt(bytes.Repeat([]byte{'C'}, coLen), coOff); err != nil {
+		return err
+	}
+	w.coOwner, w.coFile = co, cf
+	return nil
+}
+
+func (*diffWL) run(h *harness) bool {
+	p, err := h.sys.NewProcess(1)
+	if err != nil {
+		return false
+	}
+	f, err := p.Open("v1/f")
+	if err != nil {
+		return false
+	}
+	if _, err := p.BeginTrans(); err != nil {
+		return false
+	}
+	if _, err := f.WriteAt(bytes.Repeat([]byte{'B'}, txLen), 0); err != nil {
+		p.AbortTrans() //nolint:errcheck
+		return false
+	}
+	return p.EndTrans() == nil
+}
+
+func (w *diffWL) check(h *harness, confirmed bool) (string, []string) {
+	got, err := readCommittedPath(h, "v1/f")
+	if err != nil {
+		return "unreadable", []string{fmt.Sprintf("v1/f: committed read failed after recovery: %v", err)}
+	}
+	var violations []string
+	if len(got) != len(diffPre) {
+		return fmt.Sprintf("torn(len=%d)", len(got)), []string{
+			fmt.Sprintf("v1/f: committed size %d, want %d (neither image changes the size)", len(got), len(diffPre))}
+	}
+	head := got[:txLen]
+	state := ""
+	switch {
+	case bytes.Equal(head, diffPre[:txLen]):
+		state = "pre"
+	case bytes.Equal(head, bytes.Repeat([]byte{'B'}, txLen)):
+		state = "post"
+	default:
+		state = "torn(head)"
+		violations = append(violations,
+			"v1/f: transaction's range [0,100) is neither all-old nor all-new")
+	}
+	if confirmed && state == "pre" {
+		violations = append(violations,
+			"v1/f: commit was confirmed to the client but recovery reverted it")
+	}
+	// Everything outside the transaction's range must be the stable
+	// previous version - in particular the co-owner's uncommitted 'C'
+	// bytes must never reach committed storage.
+	if i := bytes.IndexByte(got[txLen:], 'C'); i >= 0 {
+		violations = append(violations,
+			fmt.Sprintf("v1/f: co-owner's uncommitted byte committed at offset %d", txLen+i))
+	}
+	if !bytes.Equal(got[txLen:], diffPre[txLen:]) && bytes.IndexByte(got[txLen:], 'C') < 0 {
+		violations = append(violations,
+			"v1/f: bytes outside the transaction's range changed across its commit")
+	}
+	return state, violations
+}
+
+func (w *diffWL) cleanup(*harness) {
+	// Retire the co-owner so its locks and working pages do not read as
+	// residue.  After a crash the site restart already reaped it; the
+	// error is then expected.
+	if w.coOwner != nil {
+		w.coOwner.Kill() //nolint:errcheck
+		w.coOwner, w.coFile = nil, nil
+	}
+}
+
+// ---------------------------------------------------------------------
+// tpc: two storage sites plus a third coordinator-only site.
+
+type tpcWL struct{}
+
+func (*tpcWL) name() string    { return "tpc" }
+func (*tpcWL) sites() int      { return 3 }
+func (*tpcWL) paths() []string { return []string{"v1/f", "v2/f"} }
+
+func (*tpcWL) setup(h *harness) error {
+	p, err := h.sys.NewProcess(3)
+	if err != nil {
+		return err
+	}
+	fa, err := p.Create("v1/f")
+	if err != nil {
+		return err
+	}
+	defer fa.Close() //nolint:errcheck
+	fb, err := p.Create("v2/f")
+	if err != nil {
+		return err
+	}
+	defer fb.Close() //nolint:errcheck
+	if _, err := p.BeginTrans(); err != nil {
+		return err
+	}
+	if _, err := fa.WriteAt(preImage, 0); err != nil {
+		p.AbortTrans() //nolint:errcheck
+		return err
+	}
+	if _, err := fb.WriteAt(preImage, 0); err != nil {
+		p.AbortTrans() //nolint:errcheck
+		return err
+	}
+	return p.EndTrans()
+}
+
+func (*tpcWL) run(h *harness) bool {
+	p, err := h.sys.NewProcess(3)
+	if err != nil {
+		return false
+	}
+	fa, err := p.Open("v1/f")
+	if err != nil {
+		return false
+	}
+	fb, err := p.Open("v2/f")
+	if err != nil {
+		return false
+	}
+	if _, err := p.BeginTrans(); err != nil {
+		return false
+	}
+	if _, err := fa.WriteAt(postImage, 0); err != nil {
+		p.AbortTrans() //nolint:errcheck
+		return false
+	}
+	if _, err := fb.WriteAt(postImage, 0); err != nil {
+		p.AbortTrans() //nolint:errcheck
+		return false
+	}
+	// An EndTrans failure is NOT aborted here: once the commit record
+	// may exist, only the protocol (recovery, presumed abort) decides
+	// the outcome; the audit checks both files agree with it.
+	return p.EndTrans() == nil
+}
+
+func (*tpcWL) check(h *harness, confirmed bool) (string, []string) {
+	sa, va := checkAllOrNothing(h, "v1/f", preImage, postImage, confirmed)
+	sb, vb := checkAllOrNothing(h, "v2/f", preImage, postImage, confirmed)
+	violations := append(va, vb...)
+	state := sa
+	if sa != sb {
+		state = fmt.Sprintf("split(%s/%s)", sa, sb)
+		violations = append(violations, fmt.Sprintf(
+			"cross-site atomicity torn: v1/f recovered %s but v2/f recovered %s", sa, sb))
+	}
+	return state, violations
+}
+
+func (*tpcWL) cleanup(*harness) {}
+
+// ---------------------------------------------------------------------
+// migrate: the transaction commits from a site it migrated to.
+
+type migrateWL struct{}
+
+func (*migrateWL) name() string    { return "migrate" }
+func (*migrateWL) sites() int      { return 2 }
+func (*migrateWL) paths() []string { return []string{"v1/f", "v2/f"} }
+
+func (*migrateWL) setup(h *harness) error {
+	p, err := h.sys.NewProcess(1)
+	if err != nil {
+		return err
+	}
+	if err := commitFile(p, "v1/f", preImage); err != nil {
+		return err
+	}
+	return commitFile(p, "v2/f", preImage)
+}
+
+func (*migrateWL) run(h *harness) bool {
+	p, err := h.sys.NewProcess(1)
+	if err != nil {
+		return false
+	}
+	f1, err := p.Open("v1/f")
+	if err != nil {
+		return false
+	}
+	if _, err := p.BeginTrans(); err != nil {
+		return false
+	}
+	abort := func() bool {
+		p.AbortTrans() //nolint:errcheck
+		return false
+	}
+	if _, err := f1.WriteAt(postImage, 0); err != nil {
+		return abort()
+	}
+	// A member process forks to site 2, writes there, and exits (its
+	// file list merges into the top-level process)...
+	child, err := p.Fork(simnet.SiteID(2))
+	if err != nil {
+		return abort()
+	}
+	f2, err := child.Open("v2/f")
+	if err != nil {
+		return abort()
+	}
+	if _, err := f2.WriteAt(postImage, 0); err != nil {
+		return abort()
+	}
+	if err := child.Exit(); err != nil {
+		return abort()
+	}
+	// ...then the top-level process migrates to site 2 and commits from
+	// there: the coordinator site is not the transaction's origin.
+	if err := p.Migrate(simnet.SiteID(2)); err != nil {
+		return abort()
+	}
+	return p.EndTrans() == nil
+}
+
+func (*migrateWL) check(h *harness, confirmed bool) (string, []string) {
+	sa, va := checkAllOrNothing(h, "v1/f", preImage, postImage, confirmed)
+	sb, vb := checkAllOrNothing(h, "v2/f", preImage, postImage, confirmed)
+	violations := append(va, vb...)
+	state := sa
+	if sa != sb {
+		state = fmt.Sprintf("split(%s/%s)", sa, sb)
+		violations = append(violations, fmt.Sprintf(
+			"cross-site atomicity torn: v1/f recovered %s but v2/f recovered %s", sa, sb))
+	}
+	return state, violations
+}
+
+func (*migrateWL) cleanup(*harness) {}

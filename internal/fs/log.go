@@ -239,22 +239,34 @@ func (l *LogStore) applyPutLocked(key string, kind LogKind, payload []byte, writ
 		return false, err
 	}
 
-	// Reuse the existing slot when the page count matches; otherwise
-	// free it and allocate fresh.
+	// The header page is the record's atomicity point: an overwrite keeps
+	// the key's header page and swaps its contents in a single page write,
+	// while continuation pages are always freshly allocated - never the
+	// old record's - so a crash anywhere before the header swap leaves the
+	// old record fully intact, and a crash after it exposes only the new
+	// one.  (Reusing old continuation pages in place would tear a crashed
+	// overwrite: old header + new continuation bytes fails the checksum
+	// and the record vanishes; moving the header would briefly leave two
+	// valid headers for one key on disk.)
 	pages := l.slots[key]
 	fresh = pages == nil
-	if len(pages) != need {
-		if pages != nil {
-			l.free = append(l.free, pages...)
-			sort.Ints(l.free)
-			delete(l.slots, key)
-		}
+	if fresh {
 		if len(l.free) < need {
 			return false, fmt.Errorf("%w: need %d pages, %d free", ErrLogFull, need, len(l.free))
 		}
 		pages = append([]int(nil), l.free[:need]...)
 		l.free = l.free[need:]
-		fresh = true
+	} else {
+		header, oldCont := pages[0], pages[1:]
+		if len(l.free) < need-1 {
+			return false, fmt.Errorf("%w: need %d pages, %d free", ErrLogFull, need-1, len(l.free))
+		}
+		// Allocate the new continuation pages before releasing the old
+		// ones, so the new record cannot land on pages the old record
+		// still needs if the flush tears before the header swap.
+		pages = append([]int{header}, l.free[:need-1]...)
+		l.free = append(l.free[need-1:], oldCont...)
+		sort.Ints(l.free)
 	}
 
 	ps := l.v.geo.PageSize
@@ -418,14 +430,17 @@ func (l *LogStore) flushBatch(batch []*logReq) {
 		return
 	}
 	errs := make([]error, len(batch))
+	ends := make([]int, len(batch)) // writes index one past each record's last page
 	var writes []simdisk.PageWrite
 	freshPuts := 0
 	for i, r := range batch {
 		if r.del {
 			l.applyDeleteLocked(r.key, &writes)
+			ends[i] = len(writes)
 			continue
 		}
 		fresh, err := l.applyPutLocked(r.key, r.kind, r.payload, &writes)
+		ends[i] = len(writes)
 		if err != nil {
 			errs[i] = err
 			continue
@@ -435,8 +450,9 @@ func (l *LogStore) flushBatch(batch []*logReq) {
 		}
 	}
 	var werr error
+	written := len(writes)
 	if len(writes) > 0 {
-		werr = l.v.disk.WritePages(writes)
+		written, werr = l.v.disk.WritePages(writes)
 		l.v.st.Inc(stats.GroupCommitBatches)
 		l.v.st.Add(stats.GroupCommitRecords, int64(len(batch)))
 		l.v.tr.Record(trace.GroupCommitBatch, "", l.v.name, int64(len(batch)))
@@ -445,9 +461,16 @@ func (l *LogStore) flushBatch(batch []*logReq) {
 		l.chargeFootnote9Locked(freshPuts)
 	}
 	l.mu.Unlock()
+	// A torn batch loses a suffix of the page writes.  Each record's
+	// header (or zeroing write) is its last page, so a record is durable
+	// exactly when all its pages are among the written prefix: report
+	// success for those and the write error for the rest.  Reporting the
+	// shared error to every caller would tell a caller whose record in
+	// fact landed - e.g. the coordinator's commit-point flip - that it
+	// failed, and recovery would then contradict the caller's belief.
 	for i, r := range batch {
 		err := errs[i]
-		if err == nil {
+		if err == nil && ends[i] > written {
 			err = werr
 		}
 		r.done <- err

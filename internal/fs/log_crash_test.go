@@ -1,0 +1,148 @@
+package fs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestLogOverwriteCrashAtEveryPoint is the regression for overwrite
+// atomicity: a multi-page record overwritten by another multi-page
+// record, with the disk crashed at every write index of the overwrite.
+// After reload the log must hold the old payload intact or the new one
+// complete - never a torn mix, never nothing.  Pre-fix, the overwrite
+// reused the old record's continuation pages in place, so a crash
+// after a continuation write but before the header swap left old
+// header + new continuation bytes: the checksum failed and the record
+// vanished.
+func TestLogOverwriteCrashAtEveryPoint(t *testing.T) {
+	oldPay := bytes.Repeat([]byte{'O'}, 2500) // header + 2 continuations at 1024
+	newPay := bytes.Repeat([]byte{'N'}, 2500)
+	for i := 0; ; i++ {
+		v := logVolume(t, 1024, 8)
+		d := v.Disk()
+		if err := v.Log().Put("rec", KindCoordinator, oldPay); err != nil {
+			t.Fatal(err)
+		}
+		d.CrashAfterWrites(i)
+		putErr := v.Log().Put("rec", KindCoordinator, newPay)
+		fired := d.Crashed()
+		if !fired {
+			d.CrashAfterWrites(-1)
+			if putErr != nil {
+				t.Fatalf("point %d: clean overwrite failed: %v", i, putErr)
+			}
+		} else if putErr == nil {
+			t.Fatalf("point %d: overwrite reported success on a crashed disk", i)
+		}
+
+		v.Invalidate()
+		d.Restart()
+		v2, err := Load("vol0", d)
+		if err != nil {
+			t.Fatalf("point %d: reload: %v", i, err)
+		}
+		rec, err := v2.Log().Get("rec")
+		if err != nil {
+			t.Fatalf("point %d: record vanished after crash (torn overwrite): %v", i, err)
+		}
+		switch {
+		case bytes.Equal(rec.Payload, oldPay):
+			if !fired {
+				t.Fatalf("point %d: completed overwrite still shows the old payload", i)
+			}
+		case bytes.Equal(rec.Payload, newPay):
+			// Complete new record - the header swap landed.
+		default:
+			t.Fatalf("point %d: torn record survived recovery (len=%d)", i, len(rec.Payload))
+		}
+		if !fired {
+			// The budget outlasted the overwrite: the sweep is complete.
+			if i == 0 {
+				t.Fatal("overwrite performed no writes")
+			}
+			return
+		}
+	}
+}
+
+// TestLogOverwriteKeepsHeaderPage: the header page is the record's
+// atomicity point, so an overwrite - even one that changes the record's
+// size - must keep the key's header page and must not reuse the old
+// continuation pages for the new image.
+func TestLogOverwriteKeepsHeaderPage(t *testing.T) {
+	v := logVolume(t, 1024, 8)
+	l := v.Log()
+	if err := l.Put("rec", KindCoordinator, bytes.Repeat([]byte{'O'}, 2500)); err != nil {
+		t.Fatal(err)
+	}
+	before := append([]int(nil), l.slots["rec"]...)
+	if len(before) != 3 {
+		t.Fatalf("old record spans %d pages, want 3", len(before))
+	}
+	// Grow the record: still one header, now more continuations.
+	if err := l.Put("rec", KindCoordinator, bytes.Repeat([]byte{'N'}, 3400)); err != nil {
+		t.Fatal(err)
+	}
+	after := l.slots["rec"]
+	if len(after) != 4 {
+		t.Fatalf("new record spans %d pages, want 4", len(after))
+	}
+	if after[0] != before[0] {
+		t.Fatalf("overwrite moved the header page %d -> %d", before[0], after[0])
+	}
+	for _, np := range after[1:] {
+		for _, op := range before[1:] {
+			if np == op {
+				t.Fatalf("overwrite reused old continuation page %d in place", np)
+			}
+		}
+	}
+	rec, err := l.Get("rec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rec.Payload, bytes.Repeat([]byte{'N'}, 3400)) {
+		t.Fatal("grown record unreadable")
+	}
+}
+
+// TestLogPutCrashNewKeyLeavesNoRecord: a torn first-time Put must leave
+// no trace - continuation pages without a header are invisible and
+// reclaimed by the load scan.
+func TestLogPutCrashNewKeyLeavesNoRecord(t *testing.T) {
+	pay := bytes.Repeat([]byte{'P'}, 2500)
+	for i := 0; ; i++ {
+		v := logVolume(t, 1024, 8)
+		d := v.Disk()
+		d.CrashAfterWrites(i)
+		putErr := v.Log().Put("rec", KindCoordinator, pay)
+		fired := d.Crashed()
+		if !fired {
+			d.CrashAfterWrites(-1)
+		}
+		v.Invalidate()
+		d.Restart()
+		v2, err := Load("vol0", d)
+		if err != nil {
+			t.Fatalf("point %d: reload: %v", i, err)
+		}
+		rec, gerr := v2.Log().Get("rec")
+		if fired {
+			if putErr == nil {
+				t.Fatalf("point %d: Put reported success on a crashed disk", i)
+			}
+			if gerr == nil && !bytes.Equal(rec.Payload, pay) {
+				t.Fatalf("point %d: partial record visible (len=%d)", i, len(rec.Payload))
+			}
+		} else {
+			if gerr != nil || !bytes.Equal(rec.Payload, pay) {
+				t.Fatalf("point %d: clean Put unreadable: %v", i, gerr)
+			}
+			return
+		}
+		if gerr != nil && !errors.Is(gerr, ErrLogNotFound) {
+			t.Fatalf("point %d: unexpected Get error: %v", i, gerr)
+		}
+	}
+}

@@ -438,6 +438,11 @@ type OwnerRange struct {
 func (f *File) UncommittedOverlapping(off, length int64) []OwnerRange {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if length <= 0 {
+		// An empty range overlaps nothing - without this, the strict
+		// comparisons below would match any mod straddling off.
+		return nil
+	}
 	ps := int64(f.v.PageSize())
 	var out []OwnerRange
 	for _, st := range f.pages {
@@ -467,6 +472,10 @@ func (f *File) UncommittedOverlapping(off, length int64) []OwnerRange {
 func (f *File) TransferMods(from, to Owner, off, length int64) int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if length <= 0 {
+		// An empty range adopts nothing (see UncommittedOverlapping).
+		return 0
+	}
 	ps := int64(f.v.PageSize())
 	moved := 0
 	for _, st := range f.pages {
@@ -840,6 +849,7 @@ func ApplyIntentions(v *fs.Volume, il IntentionsList) error {
 		return err
 	}
 	changed := false
+	var replaced []int
 	for _, ent := range il.Entries {
 		cur := -1
 		if ent.Logical < len(node.Pages) {
@@ -851,9 +861,19 @@ func ApplyIntentions(v *fs.Volume, il IntentionsList) error {
 		// Rebuild the committed image: previous version + owner ranges
 		// from the shadow image.  Always differencing is correct on both
 		// Figure 4 paths; recovery takes no shortcuts.
+		//
+		// The previous version is the page the inode points to NOW, not
+		// the Base recorded at prepare time: on a shared (page-differenced)
+		// page a co-owner may have committed after this transaction
+		// prepared, so the recorded Base is stale - possibly freed - and
+		// merging onto it would erase the co-owner's committed bytes.
+		prevPhys := cur
+		if prevPhys < 0 {
+			prevPhys = ent.Base
+		}
 		merged := make([]byte, v.PageSize())
-		if ent.Base >= 0 {
-			prev, err := v.ReadStablePage(ent.Base)
+		if prevPhys >= 0 {
+			prev, err := v.ReadStablePage(prevPhys)
 			if err != nil {
 				return err
 			}
@@ -874,6 +894,9 @@ func ApplyIntentions(v *fs.Volume, il IntentionsList) error {
 			node.Pages = append(node.Pages, -1)
 		}
 		node.Pages[ent.Logical] = ent.Shadow
+		if prevPhys >= 0 {
+			replaced = append(replaced, prevPhys)
+		}
 		changed = true
 	}
 	if il.NewSize > node.Size {
@@ -886,8 +909,9 @@ func ApplyIntentions(v *fs.Volume, il IntentionsList) error {
 	if err := v.WriteInode(node); err != nil {
 		return err
 	}
-	// Free replaced bases that are still allocated and no longer
-	// referenced by the inode.
+	// Free the replaced previous versions (plus any prepare-time Base a
+	// co-owner's commit already superseded) that are still allocated and
+	// no longer referenced by the inode.
 	inUse := make(map[int]bool)
 	for _, p := range node.Pages {
 		if p >= 0 {
@@ -895,8 +919,13 @@ func ApplyIntentions(v *fs.Volume, il IntentionsList) error {
 		}
 	}
 	for _, ent := range il.Entries {
-		if ent.Base >= 0 && !inUse[ent.Base] && v.PageAllocated(ent.Base) {
-			if err := v.FreePage(ent.Base); err != nil {
+		if ent.Base >= 0 {
+			replaced = append(replaced, ent.Base)
+		}
+	}
+	for _, pg := range replaced {
+		if !inUse[pg] && v.PageAllocated(pg) {
+			if err := v.FreePage(pg); err != nil {
 				return err
 			}
 		}

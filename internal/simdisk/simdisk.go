@@ -112,8 +112,19 @@ type Disk struct {
 	// crashAfter, when >= 0, crashes the disk after that many more
 	// stable page writes land (the write that would exceed the budget
 	// fails with ErrCrashed).  Crash-correctness tests use it to tear a
-	// vectored batch mid-flush.
-	crashAfter int
+	// vectored batch mid-flush.  When crashKindSet is true only writes
+	// of crashKind step (and can trip) the budget, so a fault can target
+	// one I/O class - e.g. "the third log force" - while data traffic
+	// passes unharmed.
+	crashAfter   int
+	crashKind    IOKind
+	crashKindSet bool
+
+	// writes counts stable page writes since New, per kind and in total,
+	// so an exhaustive crash-schedule explorer can learn how many crash
+	// points a workload has.  Monotone: survives Crash/Restart.
+	writes     int64
+	kindWrites map[IOKind]int64
 
 	st *stats.Set
 }
@@ -130,6 +141,7 @@ func New(name string, numPages, pageSize int, st *stats.Set) *Disk {
 		stable:     make([][]byte, numPages),
 		volatile:   make(map[int][]byte),
 		crashAfter: -1,
+		kindWrites: make(map[IOKind]int64),
 		st:         st,
 	}
 }
@@ -149,6 +161,36 @@ func (d *Disk) CrashAfterWrites(n int) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.crashAfter = n
+	d.crashKindSet = false
+}
+
+// CrashAfterWritesOfKind arms the same fault restricted to one I/O
+// class: only stable writes of the given kind step the budget, and the
+// write that exhausts it fails with ErrCrashed.  Writes of other kinds
+// proceed normally until the fault fires.  Pass a negative n to disarm.
+func (d *Disk) CrashAfterWritesOfKind(kind IOKind, n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.crashAfter = n
+	d.crashKind = kind
+	d.crashKindSet = n >= 0
+}
+
+// StableWrites returns the number of stable page writes that have landed
+// since the disk was created.  The counter is monotone across
+// Crash/Restart, so an explorer can diff it around a workload to learn
+// how many crash points the workload exposes.
+func (d *Disk) StableWrites() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.writes
+}
+
+// StableWritesOfKind returns the stable write count for one I/O class.
+func (d *Disk) StableWritesOfKind(kind IOKind) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.kindWrites[kind]
 }
 
 // Name returns the disk's name.
@@ -250,28 +292,30 @@ type PageWrite struct {
 // is held throughout), but an armed CrashAfterWrites fault can tear it:
 // pages are then written strictly in slice order and the remainder is
 // lost, so callers ordering continuation pages before their header never
-// expose a partial record.
-func (d *Disk) WritePages(writes []PageWrite) error {
+// expose a partial record.  The returned count is how many leading pages
+// of the slice reached stable storage, so a torn batch's caller can tell
+// which records are durable and which died with the tear.
+func (d *Disk) WritePages(writes []PageWrite) (int, error) {
 	if len(writes) == 0 {
-		return nil
+		return 0, nil
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	for _, w := range writes {
 		if err := d.check(w.Page); err != nil {
-			return err
+			return 0, err
 		}
 		if len(w.Data) != d.pageSize {
-			return fmt.Errorf("%w: got %d want %d on %s page %d", ErrBadSize, len(w.Data), d.pageSize, d.name, w.Page)
+			return 0, fmt.Errorf("%w: got %d want %d on %s page %d", ErrBadSize, len(w.Data), d.pageSize, d.name, w.Page)
 		}
 	}
 	d.force()
-	for _, w := range writes {
+	for i, w := range writes {
 		if err := d.writeStableLocked(w.Page, w.Data, w.Kind); err != nil {
-			return err
+			return i, err
 		}
 	}
-	return nil
+	return len(writes), nil
 }
 
 // force charges one forced I/O and pays the sync delay.  Caller holds
@@ -286,19 +330,24 @@ func (d *Disk) force() {
 // writeStableLocked lands one page on stable storage, stepping the armed
 // crash fault first.  Caller holds d.mu and has validated page and size.
 func (d *Disk) writeStableLocked(page int, data []byte, kind IOKind) error {
-	if d.crashAfter == 0 {
-		d.crashAfter = -1
-		d.volatile = make(map[int][]byte)
-		d.crashed = true
-		return ErrCrashed
-	}
-	if d.crashAfter > 0 {
-		d.crashAfter--
+	if !d.crashKindSet || kind == d.crashKind {
+		if d.crashAfter == 0 {
+			d.crashAfter = -1
+			d.crashKindSet = false
+			d.volatile = make(map[int][]byte)
+			d.crashed = true
+			return ErrCrashed
+		}
+		if d.crashAfter > 0 {
+			d.crashAfter--
+		}
 	}
 	buf := make([]byte, d.pageSize)
 	copy(buf, data)
 	d.stable[page] = buf
 	delete(d.volatile, page)
+	d.writes++
+	d.kindWrites[kind]++
 	d.chargeWrite(kind)
 	return nil
 }
@@ -375,6 +424,7 @@ func (d *Disk) Restart() {
 	defer d.mu.Unlock()
 	d.crashed = false
 	d.crashAfter = -1
+	d.crashKindSet = false
 }
 
 // Crashed reports whether the disk is currently offline.

@@ -284,8 +284,12 @@ func TestWritePagesVectored(t *testing.T) {
 		{Page: 2, Data: page(d, 0xBB), Kind: IOPrepareLog},
 		{Page: 3, Data: page(d, 0xCC), Kind: IOCoordLog},
 	}
-	if err := d.WritePages(writes); err != nil {
+	n, err := d.WritePages(writes)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if n != len(writes) {
+		t.Fatalf("WritePages wrote %d, want %d", n, len(writes))
 	}
 	for _, w := range writes {
 		got, err := d.ReadPage(w.Page, IOMeta)
@@ -308,8 +312,8 @@ func TestWritePagesVectored(t *testing.T) {
 	if got := st.Get(stats.CoordLogWrites); got != 1 {
 		t.Fatalf("coord log writes = %d, want 1", got)
 	}
-	if err := d.WritePages(nil); err != nil {
-		t.Fatal(err)
+	if n, err := d.WritePages(nil); err != nil || n != 0 {
+		t.Fatalf("empty batch = (%d, %v)", n, err)
 	}
 	if got := st.Get(stats.ForcedIOs); got != 1 {
 		t.Fatal("empty batch must not charge a forced I/O")
@@ -319,7 +323,7 @@ func TestWritePagesVectored(t *testing.T) {
 func TestWritePagesValidatesUpFront(t *testing.T) {
 	st := stats.NewSet()
 	d := New("d", 8, 128, st)
-	err := d.WritePages([]PageWrite{
+	_, err := d.WritePages([]PageWrite{
 		{Page: 1, Data: page(d, 1), Kind: IOData},
 		{Page: 99, Data: page(d, 2), Kind: IOData},
 	})
@@ -379,13 +383,16 @@ func TestCrashAfterWritesTearsBatch(t *testing.T) {
 	st := stats.NewSet()
 	d := New("d", 16, 128, st)
 	d.CrashAfterWrites(2)
-	err := d.WritePages([]PageWrite{
+	n, err := d.WritePages([]PageWrite{
 		{Page: 1, Data: page(d, 0x11), Kind: IOData},
 		{Page: 2, Data: page(d, 0x22), Kind: IOData},
 		{Page: 3, Data: page(d, 0x33), Kind: IOData},
 	})
 	if !errors.Is(err, ErrCrashed) {
 		t.Fatalf("torn batch err = %v, want ErrCrashed", err)
+	}
+	if n != 2 {
+		t.Fatalf("torn batch reported %d durable pages, want 2", n)
 	}
 	if !d.Crashed() {
 		t.Fatal("disk should be crashed after the fault fires")
@@ -403,5 +410,80 @@ func TestCrashAfterWritesTearsBatch(t *testing.T) {
 	// Restart disarmed the fault: writes succeed again.
 	if err := d.WritePage(3, page(d, 0x44), IOData, true); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestStableWriteCounters(t *testing.T) {
+	st := stats.NewSet()
+	d := New("d", 16, 128, st)
+	if d.StableWrites() != 0 {
+		t.Fatal("fresh disk has nonzero write count")
+	}
+	if err := d.WritePage(1, page(d, 1), IOData, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WritePage(2, page(d, 2), IOInode, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WritePage(3, page(d, 3), IOData, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.StableWrites(); got != 2 {
+		t.Fatalf("StableWrites = %d, want 2 (async write must not count until flushed)", got)
+	}
+	if err := d.FlushPage(3, IOData); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.StableWrites(); got != 3 {
+		t.Fatalf("StableWrites = %d, want 3", got)
+	}
+	if got := d.StableWritesOfKind(IOData); got != 2 {
+		t.Fatalf("StableWritesOfKind(IOData) = %d, want 2", got)
+	}
+	if got := d.StableWritesOfKind(IOInode); got != 1 {
+		t.Fatalf("StableWritesOfKind(IOInode) = %d, want 1", got)
+	}
+	// The counter is monotone across crash/restart.
+	d.Crash()
+	d.Restart()
+	if got := d.StableWrites(); got != 3 {
+		t.Fatalf("StableWrites after crash/restart = %d, want 3", got)
+	}
+}
+
+func TestCrashAfterWritesOfKind(t *testing.T) {
+	st := stats.NewSet()
+	d := New("d", 16, 128, st)
+	// Budget of 1 inode write: data writes pass freely, the first inode
+	// write lands, the second trips the fault.
+	d.CrashAfterWritesOfKind(IOInode, 1)
+	for p := 1; p <= 3; p++ {
+		if err := d.WritePage(p, page(d, byte(p)), IOData, true); err != nil {
+			t.Fatalf("data write %d: %v", p, err)
+		}
+	}
+	if err := d.WritePage(4, page(d, 0x44), IOInode, true); err != nil {
+		t.Fatalf("first inode write: %v", err)
+	}
+	if err := d.WritePage(5, page(d, 0x55), IOData, true); err != nil {
+		t.Fatalf("data write after inode: %v", err)
+	}
+	err := d.WritePage(6, page(d, 0x66), IOInode, true)
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("second inode write = %v, want ErrCrashed", err)
+	}
+	if !d.Crashed() {
+		t.Fatal("disk should be crashed")
+	}
+	d.Restart()
+	// Restart disarms the kind filter along with the budget.
+	if err := d.WritePage(6, page(d, 0x66), IOInode, true); err != nil {
+		t.Fatal(err)
+	}
+	// Re-arming with plain CrashAfterWrites clears a previous kind filter.
+	d.CrashAfterWritesOfKind(IOInode, 5)
+	d.CrashAfterWrites(0)
+	if err := d.WritePage(7, page(d, 0x77), IOData, true); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("plain re-arm should hit any kind, got %v", err)
 	}
 }

@@ -329,7 +329,15 @@ func (c *Coordinator) CommitTransaction(txid string, files []proc.FileRef) error
 
 	// Step 1: coordinator log, status unknown.
 	if err := WriteCoordRecord(c.vol, rec); err != nil {
+		// The record never landed, so recovery reads the transaction as
+		// aborted (presumed abort).  The participants were never
+		// contacted, but they already hold the transaction's retained
+		// locks and uncommitted modifications from its data operations:
+		// the abort must be distributed now or those leak forever.
+		c.distributeOutcome(txid, participants(files), false)
 		c.forget(txid)
+		c.st.Inc(stats.TxnAborts)
+		c.trc.Record(trace.TxnAbort, txid, "", 0)
 		return err
 	}
 
@@ -373,16 +381,21 @@ func (c *Coordinator) CommitTransaction(txid string, files []proc.FileRef) error
 		c.trc.Record(trace.Voted, txid, site.String(), yes)
 	}
 	if prepErr != nil {
-		// Abort: flip the marker, tell everyone, clean up.
+		// Abort: flip the marker, tell everyone, clean up.  If the
+		// marker write fails the record still reads StatusUnknown -
+		// commit point not reached, an abort to any recovery query -
+		// so distributing the abort stays mandatory and sound: without
+		// it, participants that voted yes keep their prepare records
+		// and retained locks forever.
 		rec.Status = StatusAborted
-		if err := WriteCoordRecord(c.vol, rec); err != nil {
-			c.forget(txid)
-			return errors.Join(prepErr, err)
-		}
+		markErr := WriteCoordRecord(c.vol, rec)
 		c.distributeOutcome(txid, parts, false)
 		c.finish(txid, StatusAborted)
 		c.st.Inc(stats.TxnAborts)
 		c.trc.Record(trace.TxnAbort, txid, "", 0)
+		if markErr != nil {
+			return errors.Join(prepErr, markErr)
+		}
 		return prepErr
 	}
 
