@@ -17,6 +17,7 @@ bench:           ## regenerate every paper table/figure via testing.B
 
 chaos:           ## 20-seed fault-injection sweep with the section 5 audit
 	$(GO) run ./cmd/locuschaos -sweep 20 -duration 1s
+	$(GO) run ./cmd/locuschaos -fastpaths -schedule 150ms:partition:2,450ms:heal,700ms:partition:3,1000ms:heal -duration 2s
 
 probe:           ## exhaustive crash-point matrix (DESIGN.md section 9), race-enabled
 	$(GO) run -race ./cmd/locusprobe -forensics probe-forensics.txt

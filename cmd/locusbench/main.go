@@ -33,14 +33,25 @@ import (
 )
 
 var (
-	expFlag   = flag.String("exp", "all", "experiment to run: all, fig1, fig5, lock, fig6, pagesize, shadowlog, preplog, lockcache, replica, prefetch, fn7, recovery, concurrent")
+	expFlag   = flag.String("exp", "all", "experiment to run: all, fig1, fig5, lock, fig6, pagesize, shadowlog, preplog, lockcache, replica, prefetch, fn7, recovery, concurrent, mixed")
 	markdown  = flag.Bool("markdown", false, "emit Markdown tables")
 	model     = flag.String("model", "vax750", "cost model: vax750 (the paper's testbed) or modern")
 	concFlag  = flag.Bool("concurrent", false, "run only the concurrent-commit throughput experiment")
 	clients   = flag.Int("clients", 8, "client goroutines for the concurrent experiment")
 	txnsPerCl = flag.Int("txns", 25, "transactions per client for the concurrent experiment")
+	readShare = flag.Int("readshare", -1, "mixed experiment: run only this read percentage (default sweeps 0, 50, 90)")
+	mixedTxns = flag.Int("mixedtxns", 50, "transactions per configuration for the mixed experiment")
 	jsonPath  = flag.String("json", "", "write a machine-readable benchmark snapshot (stable schema) to this path")
 )
+
+// mixedShares returns the read shares the mixed experiment sweeps,
+// honoring -readshare.
+func mixedShares() []int {
+	if *readShare >= 0 {
+		return []int{*readShare}
+	}
+	return []int{0, 50, 90}
+}
 
 func main() {
 	flag.Parse()
@@ -84,8 +95,9 @@ func main() {
 		"granularity": granularity,
 		"recovery":    recovery,
 		"concurrent":  concurrent,
+		"mixed":       mixed,
 	}
-	order := []string{"fig1", "fig5", "lock", "fig6", "pagesize", "shadowlog", "preplog", "lockcache", "replica", "prefetch", "fn7", "granularity", "recovery", "concurrent"}
+	order := []string{"fig1", "fig5", "lock", "fig6", "pagesize", "shadowlog", "preplog", "lockcache", "replica", "prefetch", "fn7", "granularity", "recovery", "concurrent", "mixed"}
 	if *expFlag != "all" {
 		fn, ok := exps[*expFlag]
 		if !ok {
@@ -469,6 +481,33 @@ func concurrent() error {
 	return nil
 }
 
+// mixed prints the commit fast-path table (experiment E17): the mixed
+// read/write workload at several read shares, fast paths off and on.
+func mixed() error {
+	rows, err := bench.MixedSweep(*mixedTxns, mixedShares())
+	if err != nil {
+		return err
+	}
+	ms := func(d time.Duration) string { return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000) }
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Case, fmt.Sprintf("%d%%", r.ReadShare),
+			fmt.Sprint(r.Committed),
+			ms(r.P50), ms(r.P99),
+			fmt.Sprintf("%.2f", r.ForcedPerTxn),
+			fmt.Sprint(r.CoordWrites), fmt.Sprint(r.PrepWrites),
+			fmt.Sprint(r.ReadOnly), fmt.Sprint(r.OnePhase),
+		})
+	}
+	table(fmt.Sprintf("Commit fast paths: mixed read/write workload (%d txns per config)", *mixedTxns),
+		[]string{"case", "reads", "committed", "p50", "p99", "forced IOs/txn",
+			"coord log", "prepare log", "ro votes", "1-phase"}, out)
+	fmt.Println("fast paths: read-only votes skip the prepare force and phase two; a")
+	fmt.Println("single-site transaction commits in one combined message (DESIGN.md section 10)")
+	return nil
+}
+
 // snapshot is the stable -json schema ("locusbench/v1").  Fields are
 // append-only: future PRs may add keys but must not rename or remove
 // these, so perf trajectories stay comparable across snapshots.
@@ -477,6 +516,9 @@ type snapshot struct {
 	Model      string           `json:"model"`
 	Fig5       []snapFig5       `json:"fig5"`
 	Concurrent []snapConcurrent `json:"concurrent"`
+	// Appended for the commit fast paths (schema is append-only): the
+	// mixed read/write sweep at read shares 0/50/90, fast paths off/on.
+	Mixed []snapMixed `json:"mixed"`
 }
 
 type snapFig5 struct {
@@ -508,6 +550,23 @@ type snapConcurrent struct {
 	Phase2P95Ms  float64        `json:"phase2_p95_ms"`
 	Phase2P99Ms  float64        `json:"phase2_p99_ms"`
 	Counters     stats.Snapshot `json:"counters"`
+}
+
+type snapMixed struct {
+	Case            string         `json:"case"`
+	FastPaths       bool           `json:"fast_paths"`
+	ReadShare       int            `json:"read_share"`
+	Txns            int            `json:"txns"`
+	Committed       int64          `json:"committed"`
+	P50Ms           float64        `json:"p50_ms"`
+	P99Ms           float64        `json:"p99_ms"`
+	ForcedIOs       int64          `json:"forced_ios"`
+	ForcedPerTxn    float64        `json:"forced_ios_per_txn"`
+	CoordLogWrites  int64          `json:"coord_log_writes"`
+	PrepLogWrites   int64          `json:"prepare_log_writes"`
+	ReadOnlyVotes   int64          `json:"read_only_votes"`
+	OnePhaseCommits int64          `json:"one_phase_commits"`
+	Counters        stats.Snapshot `json:"counters"`
 }
 
 func writeSnapshot(path string) error {
@@ -546,6 +605,28 @@ func writeSnapshot(path string) error {
 			Phase2P95Ms:   float64(r.PhasePhase2.P95.Microseconds()) / 1000,
 			Phase2P99Ms:   float64(r.PhasePhase2.P99.Microseconds()) / 1000,
 			Counters:      r.Counters,
+		})
+	}
+	mrows, err := bench.MixedSweep(*mixedTxns, mixedShares())
+	if err != nil {
+		return err
+	}
+	for _, r := range mrows {
+		snap.Mixed = append(snap.Mixed, snapMixed{
+			Case:            r.Case,
+			FastPaths:       r.FastPaths,
+			ReadShare:       r.ReadShare,
+			Txns:            r.Txns,
+			Committed:       r.Committed,
+			P50Ms:           float64(r.P50.Microseconds()) / 1000,
+			P99Ms:           float64(r.P99.Microseconds()) / 1000,
+			ForcedIOs:       r.ForcedIOs,
+			ForcedPerTxn:    r.ForcedPerTxn,
+			CoordLogWrites:  r.CoordWrites,
+			PrepLogWrites:   r.PrepWrites,
+			ReadOnlyVotes:   r.ReadOnly,
+			OnePhaseCommits: r.OnePhase,
+			Counters:        r.Counters,
 		})
 	}
 	data, err := json.MarshalIndent(snap, "", "  ")

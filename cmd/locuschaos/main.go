@@ -18,6 +18,9 @@
 //	                                    # explicit timeline, no generation
 //	locuschaos -sweep 20                # seeds 1..20, exit 1 on any FAIL
 //	locuschaos -v -stats                # live fault log + commit counts
+//	locuschaos -fastpaths -schedule 150ms:partition:2,450ms:heal,700ms:partition:3,1000ms:heal
+//	                                    # commit fast paths on, partitions landing
+//	                                    # between prepare (read-only votes) and phase two
 package main
 
 import (
@@ -41,6 +44,7 @@ var (
 	stats    = flag.Bool("stats", false, "append nondeterministic commit/abort counts to the report")
 	verbose  = flag.Bool("v", false, "log faults and recovery progress as they happen")
 	groupc   = flag.Duration("groupcommit", 0, "enable the group-commit log daemon with this max batching delay (0 = synchronous log forces)")
+	fastp    = flag.Bool("fastpaths", false, "enable the commit fast paths (read-only votes, one-phase commit) and mix read-only audit transactions into the workload")
 	forens   = flag.String("forensics", "", "on any invariant failure, also write the full failure reports (violations + event-trace forensics) to this file; CI uploads it as an artifact")
 )
 
@@ -68,6 +72,7 @@ func main() {
 		Faults:      set,
 		Schedule:    sched,
 		GroupCommit: *groupc,
+		FastPaths:   *fastp,
 	}
 	if *verbose {
 		opts.Logf = func(format string, args ...any) {

@@ -31,6 +31,13 @@ type Options struct {
 	// loses whole records, never partial ones.  Zero keeps the paper's
 	// synchronous one-force-per-record behavior.
 	GroupCommit time.Duration
+	// FastPaths enables the DESIGN.md section 10 commit fast paths
+	// (read-only votes, one-phase commit, parallel phase two) and mixes
+	// read-only audit transactions into the transfer workers, so faults
+	// land between a read-only vote and the outcome it never waits for.
+	// The audit then proves the fast paths leak nothing: locks released,
+	// no stale prepare records.
+	FastPaths bool
 }
 
 const (
@@ -54,14 +61,15 @@ type pairState struct {
 // deterministic for a given (Seed, Duration, Sites, Workers, Faults);
 // Commits/Aborts depend on real scheduling and are reported separately.
 type Result struct {
-	Seed     int64
-	Sites    int
-	Workers  int
-	Duration time.Duration
-	Schedule Schedule
-	Commits  int64
-	Aborts   int64
-	Checks   []CheckResult
+	Seed      int64
+	Sites     int
+	Workers   int
+	Duration  time.Duration
+	FastPaths bool
+	Schedule  Schedule
+	Commits   int64
+	Aborts    int64
+	Checks    []CheckResult
 }
 
 // CheckResult is one invariant's verdict.
@@ -100,8 +108,12 @@ func (r *Result) Violations() []string {
 // ReplayCommand is the locuschaos invocation that reproduces this run's
 // schedule and verdicts exactly.
 func (r *Result) ReplayCommand() string {
-	return fmt.Sprintf("locuschaos -seed %d -sites %d -workers %d -duration %s",
+	cmd := fmt.Sprintf("locuschaos -seed %d -sites %d -workers %d -duration %s",
 		r.Seed, r.Sites, r.Workers, r.Duration)
+	if r.FastPaths {
+		cmd += " -fastpaths"
+	}
+	return cmd
 }
 
 // Report renders the run: header, fault timeline, invariant verdicts.
@@ -222,6 +234,7 @@ func Run(opts Options) (*Result, error) {
 		RetryInterval:       10 * time.Millisecond,
 		LockWaitTimeout:     75 * time.Millisecond,
 		GroupCommitMaxDelay: opts.GroupCommit,
+		FastPaths:           opts.FastPaths,
 		Trace:               e.collector,
 		Net: simnet.Config{
 			CallTimeout: 60 * time.Millisecond,
@@ -283,7 +296,7 @@ func Run(opts Options) (*Result, error) {
 
 	res := &Result{
 		Seed: opts.Seed, Sites: opts.Sites, Workers: opts.Workers,
-		Duration: opts.Duration, Schedule: e.sched,
+		Duration: opts.Duration, FastPaths: opts.FastPaths, Schedule: e.sched,
 		Commits: e.commits.Load(), Aborts: e.aborts.Load(),
 	}
 	res.Checks = e.check()
@@ -414,8 +427,21 @@ func (e *engine) transferWorker(rng *rand.Rand, stop chan struct{}) {
 		if i > j {
 			i, j = j, i // fixed lock order across workers: no ABBA deadlocks
 		}
-		amt := int64(1 + rng.Intn(10))
 		site := simnet.SiteID(rng.Intn(e.opts.Sites) + 1)
+		// With fast paths on, a quarter of the attempts are pure read
+		// audits: multi-site transactions whose participants all vote
+		// read-only, so faults catch them between the vote (which already
+		// released their locks) and the phase two they drop out of.
+		if e.opts.FastPaths && rng.Intn(4) == 0 {
+			if e.runReadAudit(site, e.accounts[i], e.accounts[j]) {
+				e.commits.Add(1)
+			} else {
+				e.aborts.Add(1)
+				time.Sleep(time.Millisecond)
+			}
+			continue
+		}
+		amt := int64(1 + rng.Intn(10))
 		if e.runTransfer(site, e.accounts[i], e.accounts[j], amt) {
 			e.commits.Add(1)
 		} else {
@@ -461,6 +487,39 @@ func (e *engine) runTransfer(site simnet.SiteID, from, to string, amt int64) boo
 	}
 	if _, err := fb.WriteAt([]byte(fmt.Sprintf("%08d", bb+amt)), 0); err != nil {
 		return abort()
+	}
+	return p.EndTrans() == nil
+}
+
+// runReadAudit reads two balances under shared locks and commits
+// without writing anything: every participant votes read-only.
+func (e *engine) runReadAudit(site simnet.SiteID, from, to string) bool {
+	p, err := e.sys.NewProcess(site)
+	if err != nil {
+		return false
+	}
+	fa, err := p.Open(from)
+	if err != nil {
+		return false
+	}
+	fb, err := p.Open(to)
+	if err != nil {
+		return false
+	}
+	if _, err := p.BeginTrans(); err != nil {
+		return false
+	}
+	abort := func() bool {
+		p.AbortTrans() //nolint:errcheck
+		return false
+	}
+	for _, f := range []*core.File{fa, fb} {
+		if err := f.LockRange(0, 8, core.Shared); err != nil {
+			return abort()
+		}
+		if _, err := readBalance(f); err != nil {
+			return abort()
+		}
 	}
 	return p.EndTrans() == nil
 }

@@ -89,6 +89,15 @@ type Config struct {
 	// GroupCommitMaxBatch caps records per batched flush (default 64;
 	// meaningful only with GroupCommitMaxDelay > 0).
 	GroupCommitMaxBatch int
+	// FastPaths enables the commit fast paths of DESIGN.md section 10:
+	// participants that did only shared-mode reads vote read-only (no
+	// prepare-record force, locks released at prepare, no phase-two
+	// message), transactions whose participants all voted read-only skip
+	// the commit-record force, and single-site transactions commit with
+	// one combined prepare-and-commit message whose prepare-record force
+	// is the commit point.  Off (the default) runs the paper-exact
+	// protocol, byte-for-byte identical on the wire and on disk.
+	FastPaths bool
 	// DiskSyncDelay charges every forced disk I/O (sync write, vectored
 	// batch, flush) this much simulated seek+sync time, serialized at
 	// the disk like a real spindle.  Zero keeps operation-counting
@@ -347,6 +356,28 @@ type preparedTxn struct {
 	// no-op duplicate; a concurrent duplicate arriving mid-apply is
 	// rejected (the coordinator retries) rather than acked early.
 	applying bool
+	// onePhase marks a one-phase commit (DESIGN.md section 10): the
+	// transaction's own prepare-record force was the commit point, so
+	// its outcome resolves locally - no coordinator log exists to query.
+	onePhase bool
+}
+
+// onePhaseCommitted reports whether a one-phase transaction's commit
+// point was reached.  A live entry exists only after its records were
+// forced; a recovered entry is committed iff the full record set
+// survived the crash (each record carries the set's total).  Callers
+// hold s.mu or have exclusive access to pt.
+func (pt *preparedTxn) onePhaseCommitted() bool {
+	if !pt.onePhase {
+		return false
+	}
+	if !pt.recovered {
+		return true
+	}
+	if len(pt.records) == 0 {
+		return false
+	}
+	return len(pt.records) >= pt.records[0].rec.OnePhaseTotal
 }
 
 // volRecord pairs a recovered prepare record with its volume.
@@ -453,6 +484,7 @@ func (s *Site) Coordinator() (*tpc.Coordinator, error) {
 		s.coord = tpc.NewCoordinator(s.id, vol, &siteTransport{s: s}, s.st, tpc.Config{
 			SyncPhase2:    s.cl.cfg.SyncPhase2,
 			RetryInterval: s.cl.cfg.RetryInterval,
+			FastPaths:     s.cl.cfg.FastPaths,
 		})
 		s.coord.SetTracer(s.tr)
 	}

@@ -181,6 +181,9 @@ func (s *Site) relockRecovered(vs *volState, rec tpc.PrepareRecord) {
 		s.prepared[rec.Txid] = pt
 	}
 	pt.recovered = true
+	if rec.OnePhaseTotal > 0 {
+		pt.onePhase = true
+	}
 	pt.records = append(pt.records, volRecord{volume: vs.name, rec: rec})
 	for _, pf := range rec.Files {
 		pt.fileIDs = append(pt.fileIDs, pf.FileID)
@@ -220,10 +223,24 @@ func (s *Site) ResolveInDoubt() (int, error) {
 		if pt == nil {
 			continue
 		}
-		st, err := s.QueryStatus(pt.coord, txid)
-		if err != nil {
-			remaining++
-			continue
+		var st tpc.Status
+		if pt.onePhase {
+			// One-phase transactions resolve locally (DESIGN.md section
+			// 10): the coordinator kept no log for them, so a query would
+			// wrongly read presumed abort.  The record set is its own
+			// verdict - complete means the last force (the commit point)
+			// happened, torn means it did not.
+			st = tpc.StatusAborted
+			if pt.onePhaseCommitted() {
+				st = tpc.StatusCommitted
+			}
+		} else {
+			var err error
+			st, err = s.QueryStatus(pt.coord, txid)
+			if err != nil {
+				remaining++
+				continue
+			}
 		}
 		// An apply error (including a racing delivery from the
 		// coordinator itself) leaves the transaction in doubt; the next

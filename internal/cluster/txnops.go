@@ -27,6 +27,13 @@ func (r prepareReq) WireSize() int {
 	return n
 }
 
+// prepareResp carries the participant's vote on the fast-path prepare
+// exchanges ("preparev", "prepareCommit").  The classic "prepare" op
+// keeps its empty response so fast-paths-off runs are wire-identical.
+type prepareResp struct{ Vote tpc.Vote }
+
+func (prepareResp) WireSize() int { return 16 }
+
 type commit2Req struct{ Txid string }
 type abortTxnReq struct{ Txid string }
 type statusReq struct{ Txid string }
@@ -39,6 +46,14 @@ func (s *Site) registerHandlers() {
 	s.registerProcHandlers()
 	s.registerReplicaHandlers()
 	s.ep.Handle("prepare", s.wrap(func(req any) (any, error) { return nil, s.handlePrepare(req.(prepareReq)) }))
+	s.ep.Handle("preparev", s.wrap(func(req any) (any, error) {
+		v, err := s.handlePrepareVote(req.(prepareReq))
+		return prepareResp{Vote: v}, err
+	}))
+	s.ep.Handle("prepareCommit", s.wrap(func(req any) (any, error) {
+		v, err := s.handlePrepareCommit(req.(prepareReq))
+		return prepareResp{Vote: v}, err
+	}))
 	s.ep.Handle("commit2", s.wrap(func(req any) (any, error) { return nil, s.handleCommit2(req.(commit2Req)) }))
 	s.ep.Handle("abortTxn", s.wrap(func(req any) (any, error) { return nil, s.handleAbortTxn(req.(abortTxnReq)) }))
 	s.ep.Handle("status", s.wrap(func(req any) (any, error) { return s.handleStatus(req.(statusReq)) }))
@@ -55,9 +70,26 @@ func (s *Site) registerHandlers() {
 // the coarse phase-two retry timer.
 type siteTransport struct{ s *Site }
 
-func (t *siteTransport) SendPrepare(site simnet.SiteID, txid string, fileIDs []string, coord simnet.SiteID) error {
-	_, err := t.s.ep.Call(site, "prepare", prepareReq{Txid: txid, FileIDs: fileIDs, Coord: coord})
-	return err
+func (t *siteTransport) SendPrepare(site simnet.SiteID, txid string, fileIDs []string, coord simnet.SiteID) (tpc.Vote, error) {
+	if !t.s.cl.cfg.FastPaths {
+		// Paper-exact mode keeps the original wire exchange (empty
+		// response) so fixed-seed runs stay byte-identical.
+		_, err := t.s.ep.Call(site, "prepare", prepareReq{Txid: txid, FileIDs: fileIDs, Coord: coord})
+		return tpc.VoteCommit, err
+	}
+	resp, err := t.s.ep.Call(site, "preparev", prepareReq{Txid: txid, FileIDs: fileIDs, Coord: coord})
+	if err != nil {
+		return tpc.VoteCommit, err
+	}
+	return resp.(prepareResp).Vote, nil
+}
+
+func (t *siteTransport) SendPrepareCommit(site simnet.SiteID, txid string, fileIDs []string, coord simnet.SiteID) (tpc.Vote, error) {
+	resp, err := t.s.ep.Call(site, "prepareCommit", prepareReq{Txid: txid, FileIDs: fileIDs, Coord: coord})
+	if err != nil {
+		return tpc.VoteCommit, err
+	}
+	return resp.(prepareResp).Vote, nil
 }
 
 func (t *siteTransport) SendCommit(site simnet.SiteID, txid string) error {
@@ -70,29 +102,31 @@ func (t *siteTransport) SendAbort(site simnet.SiteID, txid string) error {
 	return err
 }
 
-// handlePrepare is the participant's first phase (section 4.2): flush the
-// transaction's modified records, write the prepare log (intentions lists
-// and lock lists, one record per volume - or per file under the
-// footnote-10 option), and remember the prepared state.
-func (s *Site) handlePrepare(req prepareReq) error {
+// volPrep is one volume's share of a transaction's prepare payload.
+type volPrep struct {
+	vs    *volState
+	files []tpc.PreparedFile
+	locks []tpc.LockInfo
+}
+
+// gatherPrepare flushes the transaction's modified records and collects
+// per-volume prepare payloads (intentions lists and lock lists, section
+// 4.2 step 2).  hasMods reports whether any gathered file carries
+// uncommitted modifications - the write half of the read-only test.
+func (s *Site) gatherPrepare(req prepareReq) (byVol map[string]*volPrep, volNames []string, hasMods bool, err error) {
 	owner := TxnOwner(req.Txid)
 	group := TxnGroup(req.Txid)
-
-	// Gather per-volume prepare payloads.
-	type volPrep struct {
-		vs    *volState
-		files []tpc.PreparedFile
-		locks []tpc.LockInfo
-	}
-	byVol := make(map[string]*volPrep)
-	var volNames []string
+	byVol = make(map[string]*volPrep)
 	for _, fileID := range req.FileIDs {
 		of, err := s.lookupOpen(fileID)
 		if err != nil {
-			return err
+			return nil, nil, false, err
 		}
 		if err := of.file.Flush(owner); err != nil {
-			return err
+			return nil, nil, false, err
+		}
+		if of.file.HasMods(owner) {
+			hasMods = true
 		}
 		vp := byVol[of.vs.name]
 		if vp == nil {
@@ -111,7 +145,15 @@ func (s *Site) handlePrepare(req prepareReq) error {
 		}
 	}
 	sort.Strings(volNames)
+	return byVol, volNames, hasMods, nil
+}
 
+// writePrepareRecords forces the prepare log: one record per volume, or
+// per file under the footnote-10 option.  onePhaseTotal is zero for
+// ordinary two-phase prepares; for a one-phase commit it is the total
+// record count, stamped into every record so recovery can tell a
+// complete (committed) set from a torn (aborted) one.
+func (s *Site) writePrepareRecords(req prepareReq, byVol map[string]*volPrep, volNames []string, onePhaseTotal int) error {
 	for _, vn := range volNames {
 		vp := byVol[vn]
 		if s.cl.cfg.PerFilePrepareLogs {
@@ -119,8 +161,9 @@ func (s *Site) handlePrepare(req prepareReq) error {
 			for _, pf := range vp.files {
 				rec := tpc.PrepareRecord{
 					Txid: req.Txid, CoordSite: req.Coord,
-					Files: []tpc.PreparedFile{pf},
-					Locks: vp.locks,
+					OnePhaseTotal: onePhaseTotal,
+					Files:         []tpc.PreparedFile{pf},
+					Locks:         vp.locks,
 				}
 				if err := tpc.WritePrepareRecord(vp.vs.vol, rec, pf.FileID); err != nil {
 					return err
@@ -130,17 +173,162 @@ func (s *Site) handlePrepare(req prepareReq) error {
 		}
 		rec := tpc.PrepareRecord{
 			Txid: req.Txid, CoordSite: req.Coord,
-			Files: vp.files, Locks: vp.locks,
+			OnePhaseTotal: onePhaseTotal,
+			Files:         vp.files, Locks: vp.locks,
 		}
 		if err := tpc.WritePrepareRecord(vp.vs.vol, rec, ""); err != nil {
 			return err
 		}
 	}
+	return nil
+}
 
+// prepareRecordCount is the number of log records writePrepareRecords
+// will force for this payload.
+func (s *Site) prepareRecordCount(byVol map[string]*volPrep, volNames []string) int {
+	if !s.cl.cfg.PerFilePrepareLogs {
+		return len(volNames)
+	}
+	n := 0
+	for _, vn := range volNames {
+		n += len(byVol[vn].files)
+	}
+	return n
+}
+
+// handlePrepare is the participant's first phase (section 4.2): flush the
+// transaction's modified records, write the prepare log (intentions lists
+// and lock lists, one record per volume - or per file under the
+// footnote-10 option), and remember the prepared state.
+func (s *Site) handlePrepare(req prepareReq) error {
+	byVol, volNames, _, err := s.gatherPrepare(req)
+	if err != nil {
+		return err
+	}
+	if err := s.writePrepareRecords(req, byVol, volNames, 0); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	s.prepared[req.Txid] = &preparedTxn{coord: req.Coord, fileIDs: append([]string(nil), req.FileIDs...)}
 	s.mu.Unlock()
 	return nil
+}
+
+// readOnlyHere reports whether the transaction did no work at this site
+// that phase two would have to make durable: no uncommitted
+// modifications in any gathered file, and no lock stronger than
+// ModeShared (an exclusive range could have been the basis of a read
+// another site's write depends on, so only pure readers take the fast
+// exit).
+func (s *Site) readOnlyHere(txid string, hasMods bool) bool {
+	if hasMods {
+		return false
+	}
+	return s.locks.GroupSummary(TxnGroup(txid)).MaxMode <= lockmgr.ModeShared
+}
+
+// handlePrepareVote is the fast-path first phase (DESIGN.md section 10):
+// like handlePrepare, but a participant whose transaction turned out to
+// be read-only at this site answers VoteReadOnly instead of forcing a
+// prepare record.  Its locks release immediately - there is nothing for
+// phase two to deliver here - and the coordinator drops the site from
+// the outcome distribution.
+func (s *Site) handlePrepareVote(req prepareReq) (tpc.Vote, error) {
+	byVol, volNames, hasMods, err := s.gatherPrepare(req)
+	if err != nil {
+		return tpc.VoteCommit, err
+	}
+	if s.readOnlyHere(req.Txid, hasMods) {
+		// No prepare record exists, so finishTxn costs no log I/O: it
+		// releases the read locks and retires idle opens.
+		if err := s.finishTxn(req.Txid, req.FileIDs); err != nil {
+			return tpc.VoteCommit, err
+		}
+		return tpc.VoteReadOnly, nil
+	}
+	if err := s.writePrepareRecords(req, byVol, volNames, 0); err != nil {
+		return tpc.VoteCommit, err
+	}
+	s.mu.Lock()
+	s.prepared[req.Txid] = &preparedTxn{coord: req.Coord, fileIDs: append([]string(nil), req.FileIDs...)}
+	s.mu.Unlock()
+	return tpc.VoteCommit, nil
+}
+
+// handlePrepareCommit executes a one-phase commit (DESIGN.md section
+// 10): the coordinator has delegated the commit point to this - the
+// only - participant, so prepare and phase two collapse into one
+// message.  The force of the last prepare record is the commit point;
+// every record carries the set's total so recovery commits iff the
+// complete set survived.  After the force the outcome is applied and
+// cleaned up exactly as a phase-two commit would be.
+func (s *Site) handlePrepareCommit(req prepareReq) (tpc.Vote, error) {
+	byVol, volNames, hasMods, err := s.gatherPrepare(req)
+	if err != nil {
+		return tpc.VoteCommit, err
+	}
+	if s.readOnlyHere(req.Txid, hasMods) {
+		if err := s.finishTxn(req.Txid, req.FileIDs); err != nil {
+			return tpc.VoteCommit, err
+		}
+		return tpc.VoteReadOnly, nil
+	}
+
+	// Register the prepared entry (applying: an outcome delivery is
+	// already in progress - a racing abort must be refused, not
+	// interleaved) before the force, then write the records.
+	pt := &preparedTxn{
+		coord:    req.Coord,
+		fileIDs:  append([]string(nil), req.FileIDs...),
+		onePhase: true,
+		applying: true,
+	}
+	s.mu.Lock()
+	s.prepared[req.Txid] = pt
+	s.mu.Unlock()
+	total := s.prepareRecordCount(byVol, volNames)
+	if err := s.writePrepareRecords(req, byVol, volNames, total); err != nil {
+		// Before the commit point: scrub any partial record set (best
+		// effort - a torn set self-resolves to abort by count) and
+		// refuse, which the coordinator turns into an abort.
+		for _, vn := range volNames {
+			tpc.DeletePrepareRecords(byVol[vn].vs.vol, req.Txid) //nolint:errcheck // incomplete set aborts by count
+		}
+		s.mu.Lock()
+		delete(s.prepared, req.Txid)
+		s.mu.Unlock()
+		return tpc.VoteCommit, err
+	}
+
+	// Commit point passed.  Apply and clean up; a failure here leaves
+	// the entry (no longer applying) so recovery or a later resolution
+	// pass re-drives the commit - the outcome can no longer be abort.
+	owner := TxnOwner(req.Txid)
+	fail := func(err error) (tpc.Vote, error) {
+		s.mu.Lock()
+		pt.applying = false
+		s.mu.Unlock()
+		return tpc.VoteCommit, err
+	}
+	for _, fileID := range pt.fileIDs {
+		of, err := s.lookupOpen(fileID)
+		if err != nil {
+			return fail(err)
+		}
+		if of.file.HasMods(owner) {
+			if err := of.file.Commit(owner); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	if err := s.finishTxn(req.Txid, pt.fileIDs); err != nil {
+		return fail(err)
+	}
+	s.mu.Lock()
+	delete(s.prepared, req.Txid)
+	s.mu.Unlock()
+	s.tr.Record(trace.CommitApplied, req.Txid, "", int64(len(pt.fileIDs)))
+	return tpc.VoteCommit, nil
 }
 
 // handleCommit2 is the participant's second phase: apply the single-file
@@ -220,6 +408,12 @@ func (s *Site) handleAbortTxn(req abortTxnReq) error {
 		if pt.applying {
 			s.mu.Unlock()
 			return fmt.Errorf("cluster: txn %s outcome already in progress", req.Txid)
+		}
+		if pt.onePhaseCommitted() {
+			// The one-phase commit point was reached; a late abort (e.g.
+			// the coordinator lost the ack) must not tear it down.
+			s.mu.Unlock()
+			return fmt.Errorf("cluster: txn %s already past its one-phase commit point", req.Txid)
 		}
 		pt.applying = true
 	}

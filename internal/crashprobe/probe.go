@@ -34,8 +34,8 @@ import (
 
 // Options selects and bounds one probe sweep.
 type Options struct {
-	// Workload is one of "single", "diff", "tpc", "migrate", or
-	// "all"/"" for every workload.
+	// Workload is one of "single", "diff", "tpc", "migrate",
+	// "readonly", "onephase", or "all"/"" for every workload.
 	Workload string
 	// Kind optionally restricts the sweep to one I/O class ("data",
 	// "inode", "coordlog", "preparelog"): only stable writes of that
@@ -219,7 +219,7 @@ type workload interface {
 }
 
 func workloads() []workload {
-	return []workload{&singleWL{}, &diffWL{}, &tpcWL{}, &migrateWL{}}
+	return []workload{&singleWL{}, &diffWL{}, &tpcWL{}, &migrateWL{}, &readonlyWL{}, &onephaseWL{}}
 }
 
 func selectWorkloads(name string) ([]workload, error) {
@@ -265,9 +265,15 @@ type harness struct {
 
 func volName(i int) string { return fmt.Sprintf("v%d", i) }
 
+// fastPather is implemented by workloads that probe the commit fast
+// paths (DESIGN.md section 10); the harness then enables them.
+type fastPather interface {
+	fastPaths() bool
+}
+
 func newHarness(w workload) (*harness, error) {
 	col := trace.NewCollector(0)
-	sys := core.NewSystem(cluster.Config{
+	cfg := cluster.Config{
 		// Synchronous phase two and no retry timer: the only actors are
 		// the workload's own calls, so the i-th stable write is the
 		// same write on every replay.
@@ -275,7 +281,11 @@ func newHarness(w workload) (*harness, error) {
 		LockWaitTimeout: 2 * time.Second,
 		Trace:           col,
 		Net:             simnet.Config{Seed: 7},
-	})
+	}
+	if fp, ok := w.(fastPather); ok && fp.fastPaths() {
+		cfg.FastPaths = true
+	}
+	sys := core.NewSystem(cfg)
 	h := &harness{sys: sys, collector: col, n: w.sites()}
 	for i := 1; i <= h.n; i++ {
 		id := simnet.SiteID(i)

@@ -93,6 +93,45 @@ func TestMigrationCommitMatrix(t *testing.T) {
 	requireClean(t, res)
 }
 
+// TestReadOnlyVoteMatrix sweeps the fast-path 2PC whose remote
+// participant only read.  The sweep doubles as the proof of the fast
+// path itself: the read-only site must expose zero crash points,
+// because a VoteReadOnly participant performs no stable write at all.
+func TestReadOnlyVoteMatrix(t *testing.T) {
+	res, err := Run(Options{Workload: "readonly"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireClean(t, res)
+	for _, d := range res.Workloads[0].Disks {
+		if d.Volume == "v2" && d.Writes != 0 {
+			t.Fatalf("read-only participant performed %d stable writes, want 0", d.Writes)
+		}
+	}
+	if fireCount(res) != res.Points() {
+		t.Fatalf("only %d of %d armed crash points fired", fireCount(res), res.Points())
+	}
+}
+
+// TestOnePhaseCommitMatrix sweeps the single-participant one-phase
+// commit: the commit point is the participant's own prepare-record
+// force, and every crash on either side of it must self-resolve from
+// the surviving record count (the coordinator, which never logged,
+// has nothing to answer).  The coordinator site must expose zero
+// crash points - its log is skipped entirely.
+func TestOnePhaseCommitMatrix(t *testing.T) {
+	res, err := Run(Options{Workload: "onephase"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireClean(t, res)
+	for _, d := range res.Workloads[0].Disks {
+		if d.Volume == "v2" && d.Writes != 0 {
+			t.Fatalf("one-phase coordinator performed %d stable writes, want 0", d.Writes)
+		}
+	}
+}
+
 // TestPhase2AckDurabilityMatrix pins the coordinator's phase-two
 // ordering: crashing a participant on any prepare-log write (the class
 // that persists and clears its prepared state) must leave recovery able

@@ -8,18 +8,25 @@ import (
 	"repro/internal/simnet"
 )
 
-// The four workloads cover the four commit shapes of the paper:
+// The six workloads cover the commit shapes of the paper plus the
+// DESIGN.md section 10 fast paths:
 //
-//	single  - single-file commit on one site (Figure 4(a) direct path:
-//	          shadow pages flushed, one inode write is the commit point)
-//	diff    - commit of a page shared with a non-transaction co-owner's
-//	          uncommitted bytes (Figure 4(b) page differencing: the
-//	          committed image is merged onto the stable previous version)
-//	tpc     - two files on two storage sites, committed from a third:
-//	          full two-phase commit with a coordinator log
-//	migrate - a transaction whose member process forks to a second site
-//	          and whose top-level process migrates there before EndTrans,
-//	          so the coordinator is not the origin site
+//	single   - single-file commit on one site (Figure 4(a) direct path:
+//	           shadow pages flushed, one inode write is the commit point)
+//	diff     - commit of a page shared with a non-transaction co-owner's
+//	           uncommitted bytes (Figure 4(b) page differencing: the
+//	           committed image is merged onto the stable previous version)
+//	tpc      - two files on two storage sites, committed from a third:
+//	           full two-phase commit with a coordinator log
+//	migrate  - a transaction whose member process forks to a second site
+//	           and whose top-level process migrates there before EndTrans,
+//	           so the coordinator is not the origin site
+//	readonly - two-phase commit with fast paths on where the remote
+//	           participant only read: it answers VoteReadOnly, forces
+//	           nothing, and drops out of phase two
+//	onephase - single remote participant site with fast paths on: the
+//	           combined prepare-and-commit message puts the commit point
+//	           in the participant's own prepare-record force
 //
 // Each run is serial and deterministic: every replay performs the same
 // stable writes in the same order until the armed crash fires.
@@ -427,3 +434,129 @@ func (*migrateWL) check(h *harness, confirmed bool) (string, []string) {
 }
 
 func (*migrateWL) cleanup(*harness) {}
+
+// ---------------------------------------------------------------------
+// readonly: two-phase commit where the remote participant only read.
+
+type readonlyWL struct{}
+
+func (*readonlyWL) name() string    { return "readonly" }
+func (*readonlyWL) sites() int      { return 2 }
+func (*readonlyWL) paths() []string { return []string{"v1/f", "v2/f"} }
+func (*readonlyWL) fastPaths() bool { return true }
+
+func (*readonlyWL) setup(h *harness) error {
+	p, err := h.sys.NewProcess(1)
+	if err != nil {
+		return err
+	}
+	if err := commitFile(p, "v1/f", preImage); err != nil {
+		return err
+	}
+	return commitFile(p, "v2/f", preImage)
+}
+
+func (*readonlyWL) run(h *harness) bool {
+	p, err := h.sys.NewProcess(1)
+	if err != nil {
+		return false
+	}
+	f1, err := p.Open("v1/f")
+	if err != nil {
+		return false
+	}
+	f2, err := p.Open("v2/f")
+	if err != nil {
+		return false
+	}
+	if _, err := p.BeginTrans(); err != nil {
+		return false
+	}
+	if _, err := f1.WriteAt(postImage, 0); err != nil {
+		p.AbortTrans() //nolint:errcheck
+		return false
+	}
+	// The remote participant only takes a shared lock and reads: with
+	// fast paths on it votes read-only at prepare time, forces no
+	// prepare record, and receives no phase-two message.  Site 2's
+	// sweep therefore learns zero crash points - the matrix itself is
+	// the proof that the read-only voter performs no stable write.
+	if err := f2.LockRange(0, 8, core.Shared); err != nil {
+		p.AbortTrans() //nolint:errcheck
+		return false
+	}
+	if _, err := f2.ReadAt(make([]byte, 8), 0); err != nil {
+		p.AbortTrans() //nolint:errcheck
+		return false
+	}
+	// As in tpc, an EndTrans failure is not aborted here: once the
+	// commit record may exist only the protocol decides the outcome.
+	return p.EndTrans() == nil
+}
+
+func (*readonlyWL) check(h *harness, confirmed bool) (string, []string) {
+	state, violations := checkAllOrNothing(h, "v1/f", preImage, postImage, confirmed)
+	// The read-only file must be byte-identical to its baseline at
+	// every crash point: a shared read never changes committed state.
+	got, err := readCommittedPath(h, "v2/f")
+	if err != nil {
+		violations = append(violations,
+			fmt.Sprintf("v2/f: committed read failed after recovery: %v", err))
+	} else if !bytes.Equal(got, preImage) {
+		violations = append(violations,
+			fmt.Sprintf("v2/f: read-only participant's file changed across commit (%s)",
+				classify(got, preImage, postImage)))
+	}
+	return state, violations
+}
+
+func (*readonlyWL) cleanup(*harness) {}
+
+// ---------------------------------------------------------------------
+// onephase: single remote participant site, combined message.
+
+type onephaseWL struct{}
+
+func (*onephaseWL) name() string    { return "onephase" }
+func (*onephaseWL) sites() int      { return 2 }
+func (*onephaseWL) paths() []string { return []string{"v1/f"} }
+func (*onephaseWL) fastPaths() bool { return true }
+
+func (*onephaseWL) setup(h *harness) error {
+	p, err := h.sys.NewProcess(2)
+	if err != nil {
+		return err
+	}
+	return commitFile(p, "v1/f", preImage)
+}
+
+func (*onephaseWL) run(h *harness) bool {
+	// The coordinator runs at site 2 but every touched file lives at
+	// site 1: the combined prepare-and-commit message delegates the
+	// commit point to site 1's prepare-record force, and the
+	// coordinator log is never written.  A crash on either side of
+	// that force must resolve from the record count alone (the
+	// coordinator has nothing to answer a status query from).
+	p, err := h.sys.NewProcess(2)
+	if err != nil {
+		return false
+	}
+	f, err := p.Open("v1/f")
+	if err != nil {
+		return false
+	}
+	if _, err := p.BeginTrans(); err != nil {
+		return false
+	}
+	if _, err := f.WriteAt(postImage, 0); err != nil {
+		p.AbortTrans() //nolint:errcheck
+		return false
+	}
+	return p.EndTrans() == nil
+}
+
+func (*onephaseWL) check(h *harness, confirmed bool) (string, []string) {
+	return checkAllOrNothing(h, "v1/f", preImage, postImage, confirmed)
+}
+
+func (*onephaseWL) cleanup(*harness) {}

@@ -724,6 +724,33 @@ func (m *Manager) ReleaseGroup(group string) {
 	}
 }
 
+// GroupSummary is a point-in-time view of one group's held locks across
+// every file at a site: how many entries it holds and the strongest mode
+// among them.  The commit fast path consults it at prepare time: a
+// transaction whose MaxMode never exceeded ModeShared (and that produced
+// no intentions) can vote read-only (DESIGN.md section 10).
+type GroupSummary struct {
+	Entries int
+	MaxMode Mode
+}
+
+// GroupSummary scans the site's lock table for the group's held entries.
+func (m *Manager) GroupSummary(group string) GroupSummary {
+	var gs GroupSummary
+	for _, fl := range m.all() {
+		for _, e := range fl.Entries() {
+			if e.Holder.Group() != group {
+				continue
+			}
+			gs.Entries++
+			if e.Mode > gs.MaxMode {
+				gs.MaxMode = e.Mode
+			}
+		}
+	}
+	return gs
+}
+
 // QueueStats reports the wait-queue state of every file with at least
 // one queued request, sorted by file id — the lockstat contention view.
 func (m *Manager) QueueStats() []QueueInfo {

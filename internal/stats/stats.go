@@ -80,6 +80,10 @@ const (
 	TxnCommits
 	TxnAborts
 
+	// Commit fast-path events (DESIGN.md section 10).
+	ReadOnlyVotes   // participants that answered prepare with VoteReadOnly
+	OnePhaseCommits // single-site transactions committed by the combined message
+
 	numCounters
 )
 
@@ -116,6 +120,8 @@ var counterNames = [numCounters]string{
 	TxnBegins:          "txn_begins",
 	TxnCommits:         "txn_commits",
 	TxnAborts:          "txn_aborts",
+	ReadOnlyVotes:      "read_only_votes",
+	OnePhaseCommits:    "one_phase_commits",
 }
 
 // CounterByName returns the counter with the given snake_case name.

@@ -27,7 +27,7 @@ import (
 
 const (
 	coordRecVersion = 1
-	prepRecVersion  = 1
+	prepRecVersion  = 2 // v2 added the one-phase record count
 )
 
 var encPool = sync.Pool{
@@ -176,6 +176,7 @@ func encodePrepareRecord(rec *PrepareRecord) []byte {
 	b = append(b, prepRecVersion)
 	b = appendStr(b, rec.Txid)
 	b = appendInt(b, int64(rec.CoordSite))
+	b = appendInt(b, int64(rec.OnePhaseTotal))
 	b = binary.AppendUvarint(b, uint64(len(rec.Files)))
 	for _, f := range rec.Files {
 		b = appendStr(b, f.FileID)
@@ -212,6 +213,7 @@ func decodePrepareRecord(payload []byte) (PrepareRecord, error) {
 	}
 	rec.Txid = d.str("prepare txid")
 	rec.CoordSite = simnet.SiteID(d.int("prepare coord site"))
+	rec.OnePhaseTotal = int(d.int("prepare one-phase total"))
 	nFiles := d.length("prepare file count")
 	if d.err == nil && nFiles > 0 {
 		rec.Files = make([]PreparedFile, 0, nFiles)

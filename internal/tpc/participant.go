@@ -48,8 +48,8 @@ func RecoverParticipant(v *fs.Volume, query StatusQuery, relock func(PrepareReco
 
 	for _, txid := range order {
 		group := byTxn[txid]
-		st, err := query(group[0].CoordSite, txid)
-		if err != nil {
+		st, inDoubt := resolveGroup(group, query)
+		if inDoubt {
 			res.InDoubt = append(res.InDoubt, txid)
 			if relock != nil {
 				for _, r := range group {
@@ -88,4 +88,26 @@ func RecoverParticipant(v *fs.Volume, query StatusQuery, relock func(PrepareReco
 		}
 	}
 	return res, nil
+}
+
+// resolveGroup decides one transaction's outcome from its surviving
+// prepare records.  One-phase records (DESIGN.md section 10) are
+// self-describing - the force of the last record was the commit point -
+// so a complete set is committed and an incomplete one aborted, with no
+// coordinator round trip; the coordinator kept no log for them, so a
+// query would wrongly read presumed abort.  Ordinary records ask the
+// coordinator; an unreachable coordinator leaves the transaction in
+// doubt.
+func resolveGroup(group []PrepareRecord, query StatusQuery) (st Status, inDoubt bool) {
+	if total := group[0].OnePhaseTotal; total > 0 {
+		if len(group) >= total {
+			return StatusCommitted, false
+		}
+		return StatusAborted, false
+	}
+	st, err := query(group[0].CoordSite, group[0].Txid)
+	if err != nil {
+		return StatusUnknown, true
+	}
+	return st, false
 }

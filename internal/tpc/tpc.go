@@ -101,6 +101,13 @@ type PrepareRecord struct {
 	CoordSite simnet.SiteID
 	Files     []PreparedFile
 	Locks     []LockInfo
+	// OnePhaseTotal marks a one-phase commit record (DESIGN.md section
+	// 10): zero for an ordinary two-phase prepare, else the total number
+	// of prepare records the transaction wrote at this site.  The force
+	// of the last such record is the commit point, so recovery treats a
+	// complete set as committed without consulting the coordinator and an
+	// incomplete set (the final force never landed) as aborted.
+	OnePhaseTotal int
 }
 
 // CoordRecord is the coordinator log entry: the file list with storage
@@ -224,13 +231,33 @@ func PinPreparedPages(v *fs.Volume) error {
 
 // ---- Coordinator ----
 
+// Vote is a participant's answer to a successful prepare.
+type Vote int
+
+// Prepare votes.
+const (
+	// VoteCommit: the participant forced its prepare record and awaits
+	// the outcome in phase two.
+	VoteCommit Vote = iota
+	// VoteReadOnly: the transaction did only shared-mode reads at the
+	// participant, which therefore wrote nothing, released its locks on
+	// the spot, and drops out of phase two (DESIGN.md section 10).
+	VoteReadOnly
+)
+
 // Transport carries the commit protocol messages to participant sites.
 // Implementations must be safe for concurrent use.  SendPrepare and
 // SendAbort are synchronous request/response exchanges; SendCommit is the
 // phase-two message and must return an error if the participant did not
-// acknowledge, so the coordinator can retry.
+// acknowledge, so the coordinator can retry.  SendPrepareCommit is the
+// combined one-phase message for single-site transactions: on success the
+// participant has already committed (its prepare-record force was the
+// commit point), so no phase two follows.  Transports for coordinators
+// running with FastPaths off may return VoteCommit unconditionally and
+// reject SendPrepareCommit.
 type Transport interface {
-	SendPrepare(site simnet.SiteID, txid string, fileIDs []string, coord simnet.SiteID) error
+	SendPrepare(site simnet.SiteID, txid string, fileIDs []string, coord simnet.SiteID) (Vote, error)
+	SendPrepareCommit(site simnet.SiteID, txid string, fileIDs []string, coord simnet.SiteID) (Vote, error)
 	SendCommit(site simnet.SiteID, txid string) error
 	SendAbort(site simnet.SiteID, txid string) error
 }
@@ -244,7 +271,18 @@ type Config struct {
 	// RetryInterval spaces automatic phase-two retries to unreachable
 	// participants.  Zero disables the timer; RetryPending still works.
 	RetryInterval time.Duration
+	// FastPaths enables the commit fast paths of DESIGN.md section 10:
+	// read-only participants vote VoteReadOnly and skip phase two, a
+	// transaction whose participants all voted read-only skips the
+	// commit-record force, and a single-site transaction commits with
+	// one combined prepare-and-commit message.  Off (the default) runs
+	// the paper-exact protocol.
+	FastPaths bool
 }
+
+// maxFanout bounds the goroutines a single phase-two or outcome fan-out
+// spawns; larger participant sets queue on the semaphore.
+const maxFanout = 16
 
 // pendingTxn tracks a transaction past its commit/abort decision whose
 // phase two has not fully acknowledged.
@@ -327,6 +365,15 @@ func (c *Coordinator) CommitTransaction(txid string, files []proc.FileRef) error
 	c.pending[txid] = pt
 	c.mu.Unlock()
 
+	parts := participants(files)
+
+	// One-phase fast path: a single participant site stores every file,
+	// so the commit point can be delegated to that site's prepare-record
+	// force and the coordinator log skipped entirely.
+	if c.cfg.FastPaths && len(parts) == 1 {
+		return c.commitOnePhase(txid, parts)
+	}
+
 	// Step 1: coordinator log, status unknown.
 	if err := WriteCoordRecord(c.vol, rec); err != nil {
 		// The record never landed, so recovery reads the transaction as
@@ -334,7 +381,7 @@ func (c *Coordinator) CommitTransaction(txid string, files []proc.FileRef) error
 		// contacted, but they already hold the transaction's retained
 		// locks and uncommitted modifications from its data operations:
 		// the abort must be distributed now or those leak forever.
-		c.distributeOutcome(txid, participants(files), false)
+		c.distributeOutcome(txid, parts, false)
 		c.forget(txid)
 		c.st.Inc(stats.TxnAborts)
 		c.trc.Record(trace.TxnAbort, txid, "", 0)
@@ -345,7 +392,6 @@ func (c *Coordinator) CommitTransaction(txid string, files []proc.FileRef) error
 	// are recorded outside the fan-out, in sorted site order, so a
 	// fixed-seed run's event sequence does not depend on goroutine
 	// scheduling.
-	parts := participants(files)
 	sites := make([]simnet.SiteID, 0, len(parts))
 	for site := range parts {
 		sites = append(sites, site)
@@ -356,29 +402,52 @@ func (c *Coordinator) CommitTransaction(txid string, files []proc.FileRef) error
 	}
 	type prepResult struct {
 		site simnet.SiteID
+		vote Vote
 		err  error
 	}
 	results := make(chan prepResult, len(parts))
 	for site, ids := range parts {
 		go func(site simnet.SiteID, ids []string) {
-			results <- prepResult{site, c.tr.SendPrepare(site, txid, ids, c.site)}
+			vote, err := c.tr.SendPrepare(site, txid, ids, c.site)
+			results <- prepResult{site, vote, err}
 		}(site, ids)
 	}
 	votes := make(map[simnet.SiteID]error, len(parts))
+	readOnly := make(map[simnet.SiteID]bool)
 	var prepErr error
 	for range parts {
 		r := <-results
 		votes[r.site] = r.err
+		if r.err == nil && r.vote == VoteReadOnly {
+			readOnly[r.site] = true
+		}
 		if r.err != nil && prepErr == nil {
 			prepErr = fmt.Errorf("%w: %s: %v", ErrPrepareFailed, r.site, r.err)
 		}
 	}
 	for _, site := range sites {
+		if readOnly[site] {
+			c.st.Inc(stats.ReadOnlyVotes)
+			c.trc.Record(trace.VotedReadOnly, txid, site.String(), int64(len(parts[site])))
+			continue
+		}
 		yes := int64(1)
 		if votes[site] != nil {
 			yes = 0
 		}
 		c.trc.Record(trace.Voted, txid, site.String(), yes)
+	}
+	// Read-only voters released their locks at prepare time and hold no
+	// prepare records: they drop out of the protocol here, receiving
+	// neither the phase-two commit nor an abort.
+	p2parts := parts
+	if len(readOnly) > 0 {
+		p2parts = make(map[simnet.SiteID][]string, len(parts)-len(readOnly))
+		for site, ids := range parts {
+			if !readOnly[site] {
+				p2parts[site] = ids
+			}
+		}
 	}
 	if prepErr != nil {
 		// Abort: flip the marker, tell everyone, clean up.  If the
@@ -389,7 +458,7 @@ func (c *Coordinator) CommitTransaction(txid string, files []proc.FileRef) error
 		// and retained locks forever.
 		rec.Status = StatusAborted
 		markErr := WriteCoordRecord(c.vol, rec)
-		c.distributeOutcome(txid, parts, false)
+		c.distributeOutcome(txid, p2parts, false)
 		c.finish(txid, StatusAborted)
 		c.st.Inc(stats.TxnAborts)
 		c.trc.Record(trace.TxnAbort, txid, "", 0)
@@ -399,23 +468,36 @@ func (c *Coordinator) CommitTransaction(txid string, files []proc.FileRef) error
 		return prepErr
 	}
 
+	// All participants read-only: nothing anywhere to redo, so the
+	// commit-record force (and all of phase two) is unnecessary - the
+	// unanimous vote is the decision, and the step-1 record can simply be
+	// reclaimed.  Recovery stays sound: a crash before this point leaves
+	// a StatusUnknown record that resolves to abort, which no participant
+	// can contradict because none holds any transaction state.
+	if len(readOnly) == len(parts) {
+		c.finish(txid, StatusCommitted)
+		c.st.Inc(stats.TxnCommits)
+		c.trc.Record(trace.TxnCommit, txid, "", 0)
+		return nil
+	}
+
 	// Step 3: the commit point - one in-place status flip.
 	rec.Status = StatusCommitted
 	if err := WriteCoordRecord(c.vol, rec); err != nil {
 		// The outcome is undecided on disk; treat as abort.
-		c.distributeOutcome(txid, parts, false)
+		c.distributeOutcome(txid, p2parts, false)
 		c.finish(txid, StatusAborted)
 		c.trc.Record(trace.TxnAbort, txid, "", 0)
 		return err
 	}
 	c.mu.Lock()
 	pt.rec.Status = StatusCommitted
-	for site := range parts {
+	for site := range p2parts {
 		pt.unacked[site] = true
 	}
 	c.mu.Unlock()
 	c.st.Inc(stats.TxnCommits)
-	c.trc.Record(trace.TxnCommit, txid, "", int64(len(parts)))
+	c.trc.Record(trace.TxnCommit, txid, "", int64(len(p2parts)))
 
 	// Step 4: phase two.
 	if c.cfg.SyncPhase2 {
@@ -423,6 +505,52 @@ func (c *Coordinator) CommitTransaction(txid string, files []proc.FileRef) error
 	} else {
 		go c.runPhase2(txid)
 	}
+	return nil
+}
+
+// commitOnePhase commits a single-site transaction with one combined
+// prepare-and-commit exchange.  The participant's prepare-record force is
+// the commit point (the record carries its one-phase mark, so the
+// participant's recovery resolves it without a coordinator), which makes
+// the coordinator log - and both its forced writes - unnecessary.
+func (c *Coordinator) commitOnePhase(txid string, parts map[simnet.SiteID][]string) error {
+	var site simnet.SiteID
+	var ids []string
+	for s, f := range parts {
+		site, ids = s, f
+	}
+	c.trc.Record(trace.PrepareSent, txid, site.String(), int64(len(ids)))
+	vote, err := c.tr.SendPrepareCommit(site, txid, ids, c.site)
+	if err != nil {
+		// No ack: the participant either never prepared (the abort below
+		// rolls its working state back) or already committed and the ack
+		// was lost - in which case the abort finds nothing to undo, the
+		// participant's one-phase record resolves itself, and the caller
+		// learns only that the outcome was not confirmed.
+		c.trc.Record(trace.Voted, txid, site.String(), 0)
+		c.tr.SendAbort(site, txid) //nolint:errcheck // best effort; participant recovery self-resolves
+		c.forget(txid)
+		c.mu.Lock()
+		c.done[txid] = StatusAborted
+		c.mu.Unlock()
+		c.st.Inc(stats.TxnAborts)
+		c.trc.Record(trace.TxnAbort, txid, "", 0)
+		return fmt.Errorf("%w: %s: %v", ErrPrepareFailed, site, err)
+	}
+	if vote == VoteReadOnly {
+		c.st.Inc(stats.ReadOnlyVotes)
+		c.trc.Record(trace.VotedReadOnly, txid, site.String(), int64(len(ids)))
+	} else {
+		c.trc.Record(trace.Voted, txid, site.String(), 1)
+	}
+	c.st.Inc(stats.OnePhaseCommits)
+	c.trc.Record(trace.OnePhaseCommit, txid, site.String(), int64(len(ids)))
+	c.forget(txid)
+	c.mu.Lock()
+	c.done[txid] = StatusCommitted
+	c.mu.Unlock()
+	c.st.Inc(stats.TxnCommits)
+	c.trc.Record(trace.TxnCommit, txid, "", 1)
 	return nil
 }
 
@@ -441,20 +569,34 @@ func (c *Coordinator) AbortTransaction(txid string, files []proc.FileRef) error 
 	return nil
 }
 
-// distributeOutcome sends commit/abort messages to every participant,
-// best effort.
+// distributeOutcome sends commit/abort messages to every participant
+// concurrently, best effort.  A slow or unreachable site cannot delay
+// delivery to the others; it only delays the return.
 func (c *Coordinator) distributeOutcome(txid string, parts map[simnet.SiteID][]string, commit bool) {
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxFanout)
 	for site := range parts {
-		if commit {
-			c.tr.SendCommit(site, txid) //nolint:errcheck // retried by phase-2 machinery
-		} else {
-			c.tr.SendAbort(site, txid) //nolint:errcheck // duplicates are harmless; recovery re-sends
-		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(site simnet.SiteID) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if commit {
+				c.tr.SendCommit(site, txid) //nolint:errcheck // retried by phase-2 machinery
+			} else {
+				c.tr.SendAbort(site, txid) //nolint:errcheck // duplicates are harmless; recovery re-sends
+			}
+		}(site)
 	}
+	wg.Wait()
 }
 
 // runPhase2 drives commit messages until every participant acknowledges,
-// then releases the coordinator log.
+// then releases the coordinator log.  The sends fan out concurrently
+// (bounded by maxFanout), so a partitioned participant stalls only its
+// own ack, not commit delivery to healthy sites; the bookkeeping and any
+// trace activity stay outside the fan-out in sorted site order so
+// fixed-seed runs do not depend on goroutine scheduling.
 func (c *Coordinator) runPhase2(txid string) {
 	c.mu.Lock()
 	pt, ok := c.pending[txid]
@@ -467,18 +609,30 @@ func (c *Coordinator) runPhase2(txid string) {
 		sites = append(sites, s)
 	}
 	c.mu.Unlock()
-	// Deterministic send order keeps fixed-seed traces stable.
 	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
 
-	for _, site := range sites {
-		if err := c.tr.SendCommit(site, txid); err == nil {
-			c.mu.Lock()
-			delete(pt.unacked, site)
-			c.mu.Unlock()
-		}
+	acked := make([]bool, len(sites))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxFanout)
+	for i, site := range sites {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, site simnet.SiteID) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := c.tr.SendCommit(site, txid); err == nil {
+				acked[i] = true
+			}
+		}(i, site)
 	}
+	wg.Wait()
 
 	c.mu.Lock()
+	for i, site := range sites {
+		if acked[i] {
+			delete(pt.unacked, site)
+		}
+	}
 	remaining := len(pt.unacked)
 	c.mu.Unlock()
 	if remaining == 0 {
@@ -502,7 +656,9 @@ func (c *Coordinator) forget(txid string) {
 }
 
 // RetryPending re-drives phase two for every committed transaction with
-// unacknowledged participants.  The retry timer calls this; tests and the
+// unacknowledged participants.  Independent transactions retry
+// concurrently, so one transaction stuck behind a partition cannot delay
+// the rest of the backlog.  The retry timer calls this; tests and the
 // recovery path call it directly.
 func (c *Coordinator) RetryPending() {
 	c.mu.Lock()
@@ -513,9 +669,18 @@ func (c *Coordinator) RetryPending() {
 		}
 	}
 	c.mu.Unlock()
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxFanout)
 	for _, txid := range txids {
-		c.runPhase2(txid)
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(txid string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			c.runPhase2(txid)
+		}(txid)
 	}
+	wg.Wait()
 }
 
 func (c *Coordinator) retryLoop() {

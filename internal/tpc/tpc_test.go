@@ -27,42 +27,66 @@ func coordVolume(t *testing.T) *fs.Volume {
 	return v
 }
 
-// fakeTransport records protocol messages and injects failures.
+// fakeTransport records protocol messages and injects failures, votes,
+// and per-site delays.
 type fakeTransport struct {
 	mu          sync.Mutex
 	prepares    map[simnet.SiteID][]string // site -> txids prepared
+	prepCommits map[simnet.SiteID][]string // site -> txids one-phase prepared+committed
 	commits     map[simnet.SiteID][]string
 	aborts      map[simnet.SiteID][]string
 	failPrepare map[simnet.SiteID]bool
 	failCommit  map[simnet.SiteID]bool
+	votes       map[simnet.SiteID]Vote          // prepare answer; zero value is VoteCommit
+	commitDelay map[simnet.SiteID]time.Duration // injected SendCommit latency
 }
 
 func newFakeTransport() *fakeTransport {
 	return &fakeTransport{
 		prepares:    map[simnet.SiteID][]string{},
+		prepCommits: map[simnet.SiteID][]string{},
 		commits:     map[simnet.SiteID][]string{},
 		aborts:      map[simnet.SiteID][]string{},
 		failPrepare: map[simnet.SiteID]bool{},
 		failCommit:  map[simnet.SiteID]bool{},
+		votes:       map[simnet.SiteID]Vote{},
+		commitDelay: map[simnet.SiteID]time.Duration{},
 	}
 }
 
-func (f *fakeTransport) SendPrepare(site simnet.SiteID, txid string, files []string, coord simnet.SiteID) error {
+func (f *fakeTransport) SendPrepare(site simnet.SiteID, txid string, files []string, coord simnet.SiteID) (Vote, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.failPrepare[site] {
-		return fmt.Errorf("injected prepare failure at %s", site)
+		return VoteCommit, fmt.Errorf("injected prepare failure at %s", site)
 	}
 	f.prepares[site] = append(f.prepares[site], txid)
-	return nil
+	return f.votes[site], nil
+}
+
+func (f *fakeTransport) SendPrepareCommit(site simnet.SiteID, txid string, files []string, coord simnet.SiteID) (Vote, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failPrepare[site] {
+		return VoteCommit, fmt.Errorf("injected prepare failure at %s", site)
+	}
+	f.prepCommits[site] = append(f.prepCommits[site], txid)
+	return f.votes[site], nil
 }
 
 func (f *fakeTransport) SendCommit(site simnet.SiteID, txid string) error {
 	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.failCommit[site] {
+	d := f.commitDelay[site]
+	fail := f.failCommit[site]
+	f.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+	if fail {
 		return fmt.Errorf("injected commit failure at %s", site)
 	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	f.commits[site] = append(f.commits[site], txid)
 	return nil
 }

@@ -45,6 +45,8 @@ const (
 	CrashInject
 	Recovery
 	DeadlockVictim
+	VotedReadOnly
+	OnePhaseCommit
 
 	numEventTypes
 )
@@ -70,6 +72,8 @@ var eventNames = [numEventTypes]string{
 	CrashInject:      "crash_inject",
 	Recovery:         "recovery",
 	DeadlockVictim:   "deadlock_victim",
+	VotedReadOnly:    "voted_read_only",
+	OnePhaseCommit:   "one_phase_commit",
 }
 
 func (t EventType) String() string {
