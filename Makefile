@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test race bench chaos probe trace experiments examples tools clean
+.PHONY: all test race bench chaos vtime probe trace experiments examples tools clean
 
 all: test
 
@@ -18,6 +18,11 @@ bench:           ## regenerate every paper table/figure via testing.B
 chaos:           ## 20-seed fault-injection sweep with the section 5 audit
 	$(GO) run ./cmd/locuschaos -sweep 20 -duration 1s
 	$(GO) run ./cmd/locuschaos -fastpaths -schedule 150ms:partition:2,450ms:heal,700ms:partition:3,1000ms:heal -duration 2s
+
+vtime:           ## 100-seed virtual-clock chaos sweep + vtime bench (DESIGN.md section 11)
+	$(GO) run ./cmd/locuschaos -vtime -sweep 100 -duration 2s
+	$(GO) run ./cmd/locuschaos -vtime -sweep 100 -duration 2s -groupcommit 5ms -fastpaths
+	$(GO) run ./cmd/locusbench -concurrent -vtime
 
 probe:           ## exhaustive crash-point matrix (DESIGN.md section 9), race-enabled
 	$(GO) run -race ./cmd/locusprobe -forensics probe-forensics.txt

@@ -45,6 +45,7 @@ var (
 	verbose  = flag.Bool("v", false, "log faults and recovery progress as they happen")
 	groupc   = flag.Duration("groupcommit", 0, "enable the group-commit log daemon with this max batching delay (0 = synchronous log forces)")
 	fastp    = flag.Bool("fastpaths", false, "enable the commit fast paths (read-only votes, one-phase commit) and mix read-only audit transactions into the workload")
+	vtimeF   = flag.Bool("vtime", false, "run on the virtual discrete-event clock with VAX-750 latencies: -duration counts simulated time and wall-clock shrinks by orders of magnitude")
 	forens   = flag.String("forensics", "", "on any invariant failure, also write the full failure reports (violations + event-trace forensics) to this file; CI uploads it as an artifact")
 )
 
@@ -73,6 +74,7 @@ func main() {
 		Schedule:    sched,
 		GroupCommit: *groupc,
 		FastPaths:   *fastp,
+		Vtime:       *vtimeF,
 	}
 	if *verbose {
 		opts.Logf = func(format string, args ...any) {

@@ -16,6 +16,8 @@
 //	locustrace -canonical            # stable machine form (diffable)
 //	locustrace -filter prepare       # only events mentioning "prepare"
 //	locustrace -sites 4 -txns 10     # bigger cluster, more transactions
+//	locustrace -vtime -canonical     # VAX-750 latencies in simulated time;
+//	                                 # same seed => same bytes, same sim duration
 package main
 
 import (
@@ -24,11 +26,14 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/costmodel"
 	"repro/internal/simnet"
 	"repro/internal/trace"
+	"repro/internal/vtime"
 )
 
 var (
@@ -39,6 +44,7 @@ var (
 	canonical = flag.Bool("canonical", false, "emit the canonical machine form (wall-time free, byte-stable)")
 	filter    = flag.String("filter", "", "only show events whose type, txn or object contains this substring")
 	outPath   = flag.String("out", "", "write output here instead of stdout")
+	vtimeF    = flag.Bool("vtime", false, "run on the virtual discrete-event clock with VAX-750 latencies; the simulated duration is reported on stderr, outside the (still byte-stable) trace output")
 )
 
 func main() {
@@ -50,9 +56,12 @@ func main() {
 }
 
 func run() error {
-	col, err := runWorkload(*seed, *sites, *txns)
+	col, sim, err := runWorkload(*seed, *sites, *txns, *vtimeF)
 	if err != nil {
 		return err
+	}
+	if *vtimeF {
+		fmt.Fprintf(os.Stderr, "locustrace: %s simulated\n", sim)
 	}
 	evs := filterEvents(col.Events(), *filter)
 
@@ -90,52 +99,66 @@ func run() error {
 
 // runWorkload commits txns serial transactions, each writing one file
 // that lives on a single storage site different from the requesting
-// site, and returns the attached collector.  Zero network jitter plus a
-// serial client makes the merged trace a pure function of the inputs.
-func runWorkload(seed int64, sites, txns int) (*trace.Collector, error) {
+// site, and returns the attached collector plus the simulated duration
+// (zero unless vt).  Zero network jitter plus a serial client makes the
+// merged trace a pure function of the inputs - on either clock.
+func runWorkload(seed int64, sites, txns int, vt bool) (*trace.Collector, time.Duration, error) {
 	if sites < 2 {
-		return nil, fmt.Errorf("need at least 2 sites (client + storage), got %d", sites)
+		return nil, 0, fmt.Errorf("need at least 2 sites (client + storage), got %d", sites)
 	}
 	col := trace.NewCollector(0)
-	sys := core.NewSystem(cluster.Config{
+	cfg := cluster.Config{
 		SyncPhase2: true,
 		Trace:      col,
 		Net:        simnet.Config{Seed: seed},
-	})
+	}
+	var virt *vtime.Virtual
+	if vt {
+		vax := costmodel.Vax750()
+		virt = vtime.NewVirtual()
+		cfg.Clock = virt
+		cfg.DiskSyncDelay = vax.DiskWriteTime
+		cfg.Net.Latency = vax.MsgTime
+	}
+	sys := core.NewSystem(cfg)
 	defer sys.Cluster().Shutdown()
 	for i := 1; i <= sites; i++ {
 		id := simnet.SiteID(i)
 		sys.AddSite(id)
 		if err := sys.AddVolume(id, fmt.Sprintf("v%d", i)); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 	}
 
 	p, err := sys.NewProcess(1)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	for i := 0; i < txns; i++ {
 		target := 2 + i%(sites-1) // storage site, never the client's site
 		path := fmt.Sprintf("v%d/obj%02d", target, i)
 		f, err := p.Create(path)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		if _, err := p.BeginTrans(); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		if _, err := f.WriteAt([]byte(fmt.Sprintf("payload %02d", i)), 0); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		if err := p.EndTrans(); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		if err := f.Close(); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 	}
-	return col, nil
+	var sim time.Duration
+	if virt != nil {
+		sim = virt.Elapsed()
+	}
+	return col, sim, nil
 }
 
 // filterEvents keeps events whose type name, transaction or object

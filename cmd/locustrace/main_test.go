@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"testing"
+	"time"
 
 	"repro/internal/trace"
 )
@@ -14,7 +15,7 @@ import (
 // every same-seed run.
 func TestWorkloadTraceDeterministic(t *testing.T) {
 	run := func() []byte {
-		col, err := runWorkload(1, 3, 5)
+		col, _, err := runWorkload(1, 3, 5, false)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -29,12 +30,46 @@ func TestWorkloadTraceDeterministic(t *testing.T) {
 	}
 }
 
+// TestVtimeTraceDeterministic is the virtual-clock extension of the
+// acceptance check: with VAX-750 latencies simulated in timestamps, two
+// same-seed runs must agree byte for byte on the canonical trace AND on
+// the total simulated duration - and the trace bytes must match the
+// real-clock run, since the virtual clock re-prices time without
+// changing any event.
+func TestVtimeTraceDeterministic(t *testing.T) {
+	run := func(vt bool) ([]byte, time.Duration) {
+		col, sim, err := runWorkload(1, 3, 5, vt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return trace.Canonical(col.Events()), sim
+	}
+	a, simA := run(true)
+	b, simB := run(true)
+	if len(a) == 0 {
+		t.Fatal("empty canonical trace")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same-seed vtime runs diverged:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+	if simA != simB || simA <= 0 {
+		t.Fatalf("simulated durations diverged or degenerate: %v vs %v", simA, simB)
+	}
+	real, simReal := run(false)
+	if simReal != 0 {
+		t.Fatalf("real-clock run reported simulated time %v", simReal)
+	}
+	if !bytes.Equal(a, real) {
+		t.Fatal("virtual-clock trace bytes differ from the real-clock run")
+	}
+}
+
 // TestChromeExportStructure validates the trace_event JSON structurally:
 // a metadata track per site, one async begin/end span pair per committed
 // transaction, and instant events carrying the full vocabulary.
 func TestChromeExportStructure(t *testing.T) {
 	const nTxns = 4
-	col, err := runWorkload(1, 3, nTxns)
+	col, _, err := runWorkload(1, 3, nTxns, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +149,7 @@ func TestChromeExportStructure(t *testing.T) {
 // TestFilterEvents checks the -filter substring match across type, txn
 // and object fields.
 func TestFilterEvents(t *testing.T) {
-	col, err := runWorkload(1, 2, 2)
+	col, _, err := runWorkload(1, 2, 2, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,10 +175,10 @@ func TestFilterEvents(t *testing.T) {
 
 // TestWorkloadValidation rejects degenerate cluster sizes.
 func TestWorkloadValidation(t *testing.T) {
-	if _, err := runWorkload(1, 1, 1); err == nil {
+	if _, _, err := runWorkload(1, 1, 1, false); err == nil {
 		t.Fatal("accepted a 1-site cluster (no remote storage site possible)")
 	}
-	if _, err := runWorkload(1, 0, 1); err == nil {
+	if _, _, err := runWorkload(1, 0, 1, false); err == nil {
 		t.Fatal("accepted a 0-site cluster")
 	}
 }

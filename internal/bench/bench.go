@@ -50,6 +50,12 @@ type Fig5Row struct {
 	// PaperTotal is the paper's count for this configuration (0 = the
 	// paper gives no single number).
 	PaperTotal int64
+	// Msgs and ForcedIOs are the commit's full network and forced-disk
+	// traffic - the counts the virtual-clock mode must reproduce
+	// exactly, since simulated time only re-prices events, never adds
+	// or removes them.
+	Msgs      int64
+	ForcedIOs int64
 }
 
 // Fig5 measures the transaction mechanism's I/O overhead for the paper's
@@ -57,6 +63,14 @@ type Fig5Row struct {
 // costs an extra inode write), turning the 5-I/O ideal into the 7-I/O
 // 1985 implementation.
 func Fig5(doubleLogWrites bool) ([]Fig5Row, error) {
+	return Fig5Cfg(doubleLogWrites, cluster.Config{})
+}
+
+// Fig5Cfg runs the Figure 5 workloads on a caller-supplied base config -
+// the cross-mode tests inject a virtual clock plus VAX-era latencies and
+// check that every I/O and message count matches the instantaneous run.
+// doubleLogWrites overrides the base config's footnote-9 flag.
+func Fig5Cfg(doubleLogWrites bool, base cluster.Config) ([]Fig5Row, error) {
 	type config struct {
 		name       string
 		files      []string // paths; all written
@@ -76,7 +90,9 @@ func Fig5(doubleLogWrites bool) ([]Fig5Row, error) {
 
 	var rows []Fig5Row
 	for _, c := range configs {
-		sys, err := newSystem(cluster.Config{DoubleLogWrites: doubleLogWrites})
+		cfg := base
+		cfg.DoubleLogWrites = doubleLogWrites
+		sys, err := newSystem(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -116,6 +132,8 @@ func Fig5(doubleLogWrites bool) ([]Fig5Row, error) {
 			PrepareLog: d.Get(stats.PrepareLogWrites),
 			Inode:      d.Get(stats.InodeWrites),
 			PaperTotal: c.paperTotal,
+			Msgs:       d.Get(stats.MsgsSent),
+			ForcedIOs:  d.Get(stats.ForcedIOs),
 		}
 		row.Total = row.CoordLog + row.DataPages + row.PrepareLog + row.Inode
 		rows = append(rows, row)

@@ -3,7 +3,6 @@ package bench
 import (
 	"fmt"
 	"sort"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -11,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/vtime"
 )
 
 // Defaults for the concurrent-commit experiment.  The sync delay gives
@@ -58,6 +58,37 @@ type ConcurrentRow struct {
 	PhaseTotal   trace.Histogram // TxnBegin -> outcome
 	PhasePrepare trace.Histogram // first PrepareSent -> last vote
 	PhasePhase2  trace.Histogram // last vote -> last CommitApplied
+	// SimTime is the simulated duration of a virtual-clock run (zero on
+	// the real clock); TxnsPerSimSec is throughput against that clock -
+	// the figure the paper's VAX-750 testbed would have measured, no
+	// matter how fast the host ran the simulation.
+	SimTime       time.Duration
+	TxnsPerSimSec float64
+}
+
+// ConcurrentOpts parameterizes ConcurrentCommitOpts beyond the classic
+// pair of knobs.
+type ConcurrentOpts struct {
+	Clients       int
+	TxnsPerClient int
+	GroupCommit   bool
+	// DiskSyncDelay is the per-forced-I/O charge; zero means
+	// DefaultDiskSyncDelay (pass a costmodel figure, e.g. the VAX-750
+	// 26ms, to reproduce 1985 hardware).
+	DiskSyncDelay time.Duration
+	// GroupCommitDelay is the batching linger; zero means
+	// DefaultGroupCommitDelay.  Scale it with DiskSyncDelay - the
+	// defaults match each other, so a record never waits longer than
+	// one force.
+	GroupCommitDelay time.Duration
+	// Vtime runs the workload on a virtual discrete-event clock: the
+	// sync delays elapse as timestamp arithmetic, latency percentiles
+	// and TxnsPerSimSec are reported in simulated time, and wall-clock
+	// shrinks by orders of magnitude.
+	Vtime bool
+	// Trace attaches an event collector and fills the per-phase
+	// histograms.
+	Trace bool
 }
 
 // ConcurrentCommit runs the transfer workload once.  groupCommit toggles
@@ -66,23 +97,42 @@ type ConcurrentRow struct {
 // Tracing stays off (nil collector): this is the configuration the
 // throughput regression benchmark guards.
 func ConcurrentCommit(clients, txnsPerClient int, groupCommit bool) (ConcurrentRow, error) {
-	return concurrentCommit(clients, txnsPerClient, groupCommit, nil)
+	return ConcurrentCommitOpts(ConcurrentOpts{Clients: clients, TxnsPerClient: txnsPerClient, GroupCommit: groupCommit})
 }
 
 // ConcurrentCommitTraced runs the same workload with the event trace
 // attached and fills the per-phase latency histograms.
 func ConcurrentCommitTraced(clients, txnsPerClient int, groupCommit bool) (ConcurrentRow, error) {
-	return concurrentCommit(clients, txnsPerClient, groupCommit, trace.NewCollector(0))
+	return ConcurrentCommitOpts(ConcurrentOpts{Clients: clients, TxnsPerClient: txnsPerClient, GroupCommit: groupCommit, Trace: true})
 }
 
-func concurrentCommit(clients, txnsPerClient int, groupCommit bool, col *trace.Collector) (ConcurrentRow, error) {
+// ConcurrentCommitOpts runs the transfer workload under the full option
+// set.
+func ConcurrentCommitOpts(o ConcurrentOpts) (ConcurrentRow, error) {
+	clients, txnsPerClient := o.Clients, o.TxnsPerClient
+	var col *trace.Collector
+	if o.Trace {
+		col = trace.NewCollector(0)
+	}
+	syncDelay := o.DiskSyncDelay
+	if syncDelay == 0 {
+		syncDelay = DefaultDiskSyncDelay
+	}
+	clk := vtime.Real()
+	if o.Vtime {
+		clk = vtime.NewVirtual()
+	}
 	cfg := cluster.Config{
 		SyncPhase2:    true,
-		DiskSyncDelay: DefaultDiskSyncDelay,
+		DiskSyncDelay: syncDelay,
 		Trace:         col,
+		Clock:         clk,
 	}
-	if groupCommit {
+	if o.GroupCommit {
 		cfg.GroupCommitMaxDelay = DefaultGroupCommitDelay
+		if o.GroupCommitDelay > 0 {
+			cfg.GroupCommitMaxDelay = o.GroupCommitDelay
+		}
 	}
 	sys := core.NewSystem(cfg)
 	sys.AddSite(1)
@@ -116,11 +166,11 @@ func concurrentCommit(clients, txnsPerClient int, groupCommit bool, col *trace.C
 	lats := make([][]time.Duration, clients)
 	errs := make([]error, clients)
 	start := time.Now()
-	var wg sync.WaitGroup
+	simStart := clk.Now()
+	wg := vtime.NewGroup(clk)
 	for c := 0; c < clients; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
+		c := c
+		wg.Go(func() {
 			p, err := sys.NewProcess(1)
 			if err != nil {
 				errs[c] = err
@@ -135,7 +185,7 @@ func concurrentCommit(clients, txnsPerClient int, groupCommit bool, col *trace.C
 			to := from + 8
 			lats[c] = make([]time.Duration, 0, txnsPerClient)
 			for i := 0; i < txnsPerClient; i++ {
-				t0 := time.Now()
+				t0 := clk.Now()
 				if _, err := p.BeginTrans(); err != nil {
 					errs[c] = err
 					return
@@ -167,12 +217,13 @@ func concurrentCommit(clients, txnsPerClient int, groupCommit bool, col *trace.C
 					continue
 				}
 				committed.Add(1)
-				lats[c] = append(lats[c], time.Since(t0))
+				lats[c] = append(lats[c], clk.Now().Sub(t0))
 			}
-		}(c)
+		})
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	simElapsed := clk.Now().Sub(simStart)
 	for _, err := range errs {
 		if err != nil {
 			return ConcurrentRow{}, err
@@ -209,12 +260,18 @@ func concurrentCommit(clients, txnsPerClient int, groupCommit bool, col *trace.C
 		DiskWrites:   d.Get(stats.DiskWrites),
 		Counters:     d,
 	}
-	if groupCommit {
+	if o.GroupCommit {
 		row.Case = "group-commit on"
+	}
+	if o.Vtime {
+		row.SimTime = simElapsed
 	}
 	if row.Committed > 0 {
 		row.TxnsPerSec = float64(row.Committed) / wall.Seconds()
 		row.ForcedPerTxn = float64(row.ForcedIOs) / float64(row.Committed)
+		if o.Vtime && simElapsed > 0 {
+			row.TxnsPerSimSec = float64(row.Committed) / simElapsed.Seconds()
+		}
 	}
 	if col != nil {
 		row.PhaseTotal, row.PhasePrepare, row.PhasePhase2 =
@@ -236,4 +293,28 @@ func ConcurrentCommitPair(clients, txnsPerClient int) ([]ConcurrentRow, error) {
 		return nil, err
 	}
 	return []ConcurrentRow{off, on}, nil
+}
+
+// ConcurrentCommitPairVtime is the virtual-clock counterpart of
+// ConcurrentCommitPair: the same off/on pair, but on a discrete-event
+// clock charging the active cost model's per-force disk latency, so the
+// rows report simulated time and txns/sim-sec at 1985 (or modern)
+// hardware speed while the run itself takes milliseconds of wall-clock.
+func ConcurrentCommitPairVtime(clients, txnsPerClient int) ([]ConcurrentRow, error) {
+	var rows []ConcurrentRow
+	for _, gc := range []bool{false, true} {
+		r, err := ConcurrentCommitOpts(ConcurrentOpts{
+			Clients: clients, TxnsPerClient: txnsPerClient,
+			GroupCommit:      gc,
+			DiskSyncDelay:    Vax.DiskWriteTime,
+			GroupCommitDelay: Vax.DiskWriteTime,
+			Vtime:            true,
+			Trace:            true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/simnet"
 	"repro/internal/trace"
+	"repro/internal/vtime"
 )
 
 func TestGenScheduleDeterministic(t *testing.T) {
@@ -233,7 +234,7 @@ func TestSweep(t *testing.T) {
 // pair, synced so it is durable) and the atomic-pairs check must flag
 // it.
 func TestCheckerCatchesTornPair(t *testing.T) {
-	e := &engine{opts: Options{Seed: 5, Sites: 2, Workers: 2}}
+	e := &engine{opts: Options{Seed: 5, Sites: 2, Workers: 2}, clk: vtime.Real()}
 	e.collector = trace.NewCollector(0)
 	e.sys = core.NewSystem(cluster.Config{
 		RetryInterval:   10 * time.Millisecond,

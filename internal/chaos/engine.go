@@ -6,15 +6,16 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/costmodel"
 	"repro/internal/simdisk"
 	"repro/internal/simnet"
 	"repro/internal/trace"
+	"repro/internal/vtime"
 )
 
 // Options configures one chaos run.
@@ -38,6 +39,15 @@ type Options struct {
 	// The audit then proves the fast paths leak nothing: locks released,
 	// no stale prepare records.
 	FastPaths bool
+	// Vtime runs the whole chaos run on a virtual discrete-event clock
+	// charging the paper's VAX-750 latencies (8ms per message hop, 26ms
+	// per forced disk I/O): the fault schedule fires at exact simulated
+	// instants while wall-clock time shrinks by orders of magnitude.
+	// Duration then counts simulated, not real, time.  Timeouts scale up
+	// with the latencies (1s call and lock-wait timeouts, 100ms retry
+	// interval) because a multi-hop handler at VAX speed outlasts the
+	// real-mode tunings.
+	Vtime bool
 }
 
 const (
@@ -66,10 +76,14 @@ type Result struct {
 	Workers   int
 	Duration  time.Duration
 	FastPaths bool
+	Vtime     bool
 	Schedule  Schedule
 	Commits   int64
 	Aborts    int64
 	Checks    []CheckResult
+	// SimElapsed is the total simulated time of a Vtime run (zero
+	// otherwise): workload window plus quiesce and recovery.
+	SimElapsed time.Duration
 }
 
 // CheckResult is one invariant's verdict.
@@ -113,6 +127,9 @@ func (r *Result) ReplayCommand() string {
 	if r.FastPaths {
 		cmd += " -fastpaths"
 	}
+	if r.Vtime {
+		cmd += " -vtime"
+	}
 	return cmd
 }
 
@@ -145,6 +162,9 @@ func (r *Result) Report(withStats bool) string {
 	}
 	if withStats {
 		fmt.Fprintf(&b, "stats: %d commits, %d aborts\n", r.Commits, r.Aborts)
+		if r.Vtime {
+			fmt.Fprintf(&b, "stats: %s simulated\n", r.SimElapsed)
+		}
 	}
 	return b.String()
 }
@@ -160,8 +180,20 @@ type engine struct {
 	total     int64
 	commits   atomic.Int64
 	aborts    atomic.Int64
-	stop      chan struct{}  // closed at end of the workload window
-	monWG     sync.WaitGroup // armcrash monitors: disk tripped -> site down
+	clk       vtime.Clock
+	stop      chan struct{} // closed at end of the workload window
+	mon       *vtime.Group  // armcrash monitors: disk tripped -> site down
+}
+
+// stopped polls the workload-window flag without blocking (safe under
+// the virtual clock: no token is parked).
+func (e *engine) stopped() bool {
+	select {
+	case <-e.stop:
+		return true
+	default:
+		return false
+	}
 }
 
 // forensicsDepth bounds how many trailing events a violation report
@@ -230,7 +262,8 @@ func Run(opts Options) (*Result, error) {
 	// that is the configuration where lost commit messages, coordinator
 	// crashes and the retry path all genuinely interleave.
 	e.collector = trace.NewCollector(0)
-	e.sys = core.NewSystem(cluster.Config{
+	e.clk = vtime.Real()
+	cfg := cluster.Config{
 		RetryInterval:       10 * time.Millisecond,
 		LockWaitTimeout:     75 * time.Millisecond,
 		GroupCommitMaxDelay: opts.GroupCommit,
@@ -240,7 +273,23 @@ func Run(opts Options) (*Result, error) {
 			CallTimeout: 60 * time.Millisecond,
 			Seed:        opts.Seed,
 		},
-	})
+	}
+	if opts.Vtime {
+		// Discrete-event mode charges the VAX-750 latencies of the
+		// paper's measurements; the timeouts scale up to match (a
+		// two-hop prepare at 8ms per message plus a 26ms log force
+		// outlasts the real-mode 60ms budget many times over).
+		vax := costmodel.Vax750()
+		e.clk = vtime.NewVirtual()
+
+		cfg.Clock = e.clk
+		cfg.RetryInterval = 100 * time.Millisecond
+		cfg.LockWaitTimeout = time.Second
+		cfg.DiskSyncDelay = vax.DiskWriteTime
+		cfg.Net.CallTimeout = time.Second
+		cfg.Net.Latency = vax.MsgTime
+	}
+	e.sys = core.NewSystem(cfg)
 	defer e.sys.Cluster().Shutdown()
 	for _, id := range siteIDs {
 		e.sys.AddSite(id)
@@ -255,40 +304,46 @@ func Run(opts Options) (*Result, error) {
 	// Workload + fault injection.
 	stop := make(chan struct{})
 	e.stop = stop
-	var wg sync.WaitGroup
+	e.mon = vtime.NewGroup(e.clk)
+	workers := vtime.NewGroup(e.clk)
 	for w := 0; w < opts.Workers; w++ {
-		wg.Add(1)
+		w := w
 		rng := rand.New(rand.NewSource(opts.Seed ^ (int64(w+1) << 20)))
 		if w < len(e.pairs) {
-			go func(w int, rng *rand.Rand) {
-				defer wg.Done()
-				e.pairWorker(e.pairs[w], rng, stop)
-			}(w, rng)
+			workers.Go(func() { e.pairWorker(e.pairs[w], rng, stop) })
 		} else {
-			go func(rng *rand.Rand) {
-				defer wg.Done()
-				e.transferWorker(rng, stop)
-			}(rng)
+			workers.Go(func() { e.transferWorker(rng, stop) })
 		}
 	}
-	schedDone := make(chan struct{})
-	start := time.Now()
-	go func() {
-		defer close(schedDone)
+	sched := vtime.NewGroup(e.clk)
+	start := e.clk.Now()
+	sched.Go(func() {
 		for _, f := range e.sched {
-			select {
-			case <-stop:
-				return
-			case <-time.After(time.Until(start.Add(f.At))):
+			if v, ok := vtime.AsVirtual(e.clk); ok {
+				// Virtual sleeps cost no wall-clock, so sleeping past a
+				// closed window is harmless; poll stop around the jump.
+				if e.stopped() {
+					return
+				}
+				v.SleepUntil(start.Add(f.At))
+				if e.stopped() {
+					return
+				}
+			} else {
+				select {
+				case <-stop:
+					return
+				case <-time.After(time.Until(start.Add(f.At))):
+				}
 			}
 			e.apply(f)
 		}
-	}()
-	time.Sleep(opts.Duration)
+	})
+	e.clk.Sleep(opts.Duration)
 	close(stop)
-	wg.Wait()
-	<-schedDone
-	e.monWG.Wait()
+	workers.Wait()
+	sched.Wait()
+	e.mon.Wait()
 
 	if err := e.quiesce(); err != nil {
 		return nil, err
@@ -296,8 +351,12 @@ func Run(opts Options) (*Result, error) {
 
 	res := &Result{
 		Seed: opts.Seed, Sites: opts.Sites, Workers: opts.Workers,
-		Duration: opts.Duration, FastPaths: opts.FastPaths, Schedule: e.sched,
-		Commits: e.commits.Load(), Aborts: e.aborts.Load(),
+		Duration: opts.Duration, FastPaths: opts.FastPaths, Vtime: opts.Vtime,
+		Schedule: e.sched,
+		Commits:  e.commits.Load(), Aborts: e.aborts.Load(),
+	}
+	if v, ok := vtime.AsVirtual(e.clk); ok {
+		res.SimElapsed = v.Elapsed()
 	}
 	res.Checks = e.check()
 	return res, nil
@@ -378,7 +437,7 @@ func (e *engine) pairWorker(ps *pairState, rng *rand.Rand, stop chan struct{}) {
 			e.commits.Add(1)
 		} else {
 			e.aborts.Add(1)
-			time.Sleep(time.Millisecond)
+			e.clk.Sleep(time.Millisecond)
 		}
 	}
 }
@@ -437,7 +496,7 @@ func (e *engine) transferWorker(rng *rand.Rand, stop chan struct{}) {
 				e.commits.Add(1)
 			} else {
 				e.aborts.Add(1)
-				time.Sleep(time.Millisecond)
+				e.clk.Sleep(time.Millisecond)
 			}
 			continue
 		}
@@ -446,7 +505,7 @@ func (e *engine) transferWorker(rng *rand.Rand, stop chan struct{}) {
 			e.commits.Add(1)
 		} else {
 			e.aborts.Add(1)
-			time.Sleep(time.Millisecond)
+			e.clk.Sleep(time.Millisecond)
 		}
 	}
 }
@@ -575,8 +634,7 @@ func (e *engine) apply(f Fault) {
 			// The crash fires inside whatever write exhausts the budget;
 			// a monitor turns the media failure into the site failure the
 			// rest of the schedule (and its restart) expects.
-			e.monWG.Add(1)
-			go e.watchArmedDisks(f.Site, disks)
+			e.mon.Go(func() { e.watchArmedDisks(f.Site, disks) })
 		}
 	case FaultRestart:
 		if s := cl.Site(f.Site); s != nil && !s.Up() {
@@ -605,22 +663,18 @@ func (e *engine) apply(f Fault) {
 // site goes down with its failed media) or the workload window closes
 // (the budget outlived the run; quiesce's restart disarms it).
 func (e *engine) watchArmedDisks(site simnet.SiteID, disks []*simdisk.Disk) {
-	defer e.monWG.Done()
-	tick := time.NewTicker(time.Millisecond)
-	defer tick.Stop()
 	for {
-		select {
-		case <-e.stop:
+		if e.stopped() {
 			return
-		case <-tick.C:
-			for _, d := range disks {
-				if d.Crashed() {
-					if s := e.sys.Cluster().Site(site); s != nil && s.Up() {
-						e.logf("armcrash fired at site %d (disk %s)", site, d.Name())
-						s.Crash()
-					}
-					return
+		}
+		e.clk.Sleep(time.Millisecond)
+		for _, d := range disks {
+			if d.Crashed() {
+				if s := e.sys.Cluster().Site(site); s != nil && s.Up() {
+					e.logf("armcrash fired at site %d (disk %s)", site, d.Name())
+					s.Crash()
 				}
+				return
 			}
 		}
 	}
@@ -650,7 +704,7 @@ func (e *engine) quiesce() error {
 		}
 	}
 
-	deadline := time.Now().Add(10 * time.Second)
+	deadline := e.clk.Now().Add(10 * time.Second)
 	for {
 		pending := 0
 		for _, id := range cl.Sites() {
@@ -668,9 +722,9 @@ func (e *engine) quiesce() error {
 		if pending == 0 {
 			return nil
 		}
-		if time.Now().After(deadline) {
+		if e.clk.Now().After(deadline) {
 			return errors.New("chaos: recovery never drained (in-doubt or pending phase two stuck)")
 		}
-		time.Sleep(5 * time.Millisecond)
+		e.clk.Sleep(5 * time.Millisecond)
 	}
 }

@@ -1,0 +1,72 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// TestVtimeRun drives a full chaos run on the virtual clock: the
+// 2-second fault window and the VAX-era latencies elapse in simulated
+// time, the run finishes in a fraction of that wall-clock, and every
+// invariant still holds.
+func TestVtimeRun(t *testing.T) {
+	start := time.Now()
+	res, err := Run(Options{Seed: 7, Duration: 2 * time.Second, Vtime: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("violations:\n%s", res.Report(true))
+	}
+	if !res.Vtime || res.SimElapsed < 2*time.Second {
+		t.Fatalf("Vtime=%v SimElapsed=%v, want vtime run covering the window", res.Vtime, res.SimElapsed)
+	}
+	if res.Commits == 0 {
+		t.Fatal("no transaction committed under the virtual clock")
+	}
+	t.Logf("sim=%v wall=%v commits=%d aborts=%d", res.SimElapsed, time.Since(start), res.Commits, res.Aborts)
+}
+
+// TestVtimeGroupCommit exercises the batching daemon's clock handshake
+// (submit/flush wakeups, the linger sleep, stop-while-busy) and the
+// commit fast paths under faults on the virtual clock.
+func TestVtimeGroupCommit(t *testing.T) {
+	res, err := Run(Options{
+		Seed: 11, Duration: time.Second, Vtime: true,
+		GroupCommit: 5 * time.Millisecond, FastPaths: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("violations:\n%s", res.Report(true))
+	}
+}
+
+// TestVtimeSweep runs a batch of seeds through both configurations.
+// Sixty full chaos runs cost well under a second of wall-clock on the
+// virtual clock - the breadth that shook out the credit-handoff and
+// crash-epoch bugs during development.
+func TestVtimeSweep(t *testing.T) {
+	for seed := int64(1); seed <= 30; seed++ {
+		res, err := Run(Options{Seed: seed, Duration: 2 * time.Second, Vtime: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.OK() {
+			t.Errorf("seed %d violations:\n%s", seed, res.Report(true))
+		}
+	}
+	for seed := int64(1); seed <= 30; seed++ {
+		res, err := Run(Options{
+			Seed: seed, Duration: 2 * time.Second, Vtime: true,
+			GroupCommit: 5 * time.Millisecond, FastPaths: true,
+		})
+		if err != nil {
+			t.Fatalf("seed %d (gc+fp): %v", seed, err)
+		}
+		if !res.OK() {
+			t.Errorf("seed %d (gc+fp) violations:\n%s", seed, res.Report(true))
+		}
+	}
+}

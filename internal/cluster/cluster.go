@@ -35,6 +35,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/tpc"
 	"repro/internal/trace"
+	"repro/internal/vtime"
 )
 
 // Errors returned by cluster operations.
@@ -108,11 +109,18 @@ type Config struct {
 	// the default — disables tracing: every event site degenerates to a
 	// nil check.
 	Trace *trace.Collector
+	// Clock drives every timed wait in the cluster: simulated disk and
+	// network latency, lock and call timeouts, retry and group-commit
+	// timers.  Nil (the default) means the real-time clock; a
+	// vtime.Virtual clock runs the same workload in discrete-event
+	// time, jumping over the latencies instead of sleeping them
+	// (DESIGN.md §11).
+	Clock vtime.Clock
 }
 
 // groupCommit builds the fs-layer config from the cluster knobs.
 func (c Config) groupCommit() fs.GroupCommitConfig {
-	return fs.GroupCommitConfig{MaxBatch: c.GroupCommitMaxBatch, MaxDelay: c.GroupCommitMaxDelay}
+	return fs.GroupCommitConfig{MaxBatch: c.GroupCommitMaxBatch, MaxDelay: c.GroupCommitMaxDelay, Clock: c.Clock}
 }
 
 func (c Config) withDefaults() Config {
@@ -124,6 +132,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.LockWaitTimeout == 0 {
 		c.LockWaitTimeout = 2 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = vtime.Real()
 	}
 	return c
 }
@@ -146,6 +157,14 @@ type Cluster struct {
 // New creates an empty cluster.
 func New(cfg Config) *Cluster {
 	cfg = cfg.withDefaults()
+	if cfg.Net.Clock == nil {
+		cfg.Net.Clock = cfg.Clock
+	}
+	if _, ok := vtime.AsVirtual(cfg.Clock); ok {
+		// Trace wall stamps (and the latency histograms built from
+		// them) follow the simulation, not the host.
+		cfg.Trace.SetNow(cfg.Clock.Now)
+	}
 	st := stats.NewSet()
 	return &Cluster{
 		cfg:          cfg,
@@ -165,6 +184,9 @@ func (c *Cluster) Net() *simnet.Network { return c.net }
 
 // Config returns the cluster configuration.
 func (c *Cluster) Config() Config { return c.cfg }
+
+// Clock returns the cluster's clock (never nil after New).
+func (c *Cluster) Clock() vtime.Clock { return c.cfg.Clock }
 
 // NewPID allocates a globally unique process ID.
 func (c *Cluster) NewPID() int { return int(c.nextPID.Add(1)) }
@@ -197,7 +219,9 @@ func (c *Cluster) AddSite(id simnet.SiteID) *Site {
 		prepared: make(map[string]*preparedTxn),
 	}
 	s.ep.SetTracer(s.tr)
+	s.mu.SetClock(c.cfg.Clock)
 	s.locks.SetTracer(s.tr)
+	s.locks.SetClock(c.cfg.Clock)
 	s.registerHandlers()
 	c.sites[id] = s
 	return s
@@ -239,14 +263,17 @@ func (c *Cluster) AddVolume(site simnet.SiteID, name string) error {
 
 	disk := simdisk.New(name, c.cfg.VolumePages, c.cfg.PageSize, c.st)
 	disk.SetSyncDelay(c.cfg.DiskSyncDelay)
+	disk.SetClock(c.cfg.Clock)
 	vol, err := fs.Format(name, disk, fs.Options{})
 	if err != nil {
 		return err
 	}
 	vol.DoubleLogWrite = c.cfg.DoubleLogWrites
 	vol.SetTracer(s.tr)
+	vol.SetClock(c.cfg.Clock)
 	vol.Log().StartGroupCommit(c.cfg.groupCommit())
 	vs := &volState{name: name, disk: disk, vol: vol}
+	vs.dirMu.SetClock(c.cfg.Clock)
 	if err := vs.initDirectory(); err != nil {
 		return err
 	}
@@ -324,7 +351,9 @@ type volState struct {
 	disk *simdisk.Disk
 	vol  *fs.Volume
 
-	dirMu sync.Mutex
+	// dirMu is clock-aware: writeDirLocked commits the directory file
+	// (forced disk writes) while holding it.
+	dirMu vtime.Mutex
 	dir   map[string]int
 }
 
@@ -394,7 +423,10 @@ type Site struct {
 	st *stats.Set
 	tr *trace.Tracer // nil when Config.Trace is unset
 
-	mu       sync.Mutex
+	// mu is clock-aware: handleOpen and friends hold it across shadow
+	// reads and forced writes, so under a virtual clock contenders must
+	// park without freezing simulated time.
+	mu       vtime.Mutex
 	up       bool
 	vols     map[string]*volState
 	open     map[string]*openFile
@@ -485,6 +517,7 @@ func (s *Site) Coordinator() (*tpc.Coordinator, error) {
 			SyncPhase2:    s.cl.cfg.SyncPhase2,
 			RetryInterval: s.cl.cfg.RetryInterval,
 			FastPaths:     s.cl.cfg.FastPaths,
+			Clock:         s.cl.cfg.Clock,
 		})
 		s.coord.SetTracer(s.tr)
 	}

@@ -122,7 +122,7 @@ func (s *Site) Migrate(pid int, to simnet.SiteID) error {
 			break
 		}
 		if errors.Is(err, proc.ErrBusy) && attempt < 50 {
-			time.Sleep(time.Millisecond)
+			s.cl.cfg.Clock.Sleep(time.Millisecond)
 			continue
 		}
 		return err
@@ -153,7 +153,7 @@ func (s *Site) notifyChildMoved(req childMovedReq) {
 				return
 			}
 		}
-		time.Sleep(time.Millisecond)
+		s.cl.cfg.Clock.Sleep(time.Millisecond)
 	}
 }
 
@@ -194,7 +194,7 @@ func (s *Site) MergeToTop(topPID int, hint simnet.SiteID, files []proc.FileRef) 
 				return err
 			}
 		}
-		time.Sleep(time.Millisecond)
+		s.cl.cfg.Clock.Sleep(time.Millisecond)
 	}
 	return fmt.Errorf("cluster: file-list merge to pid %d failed: %w", topPID, lastErr)
 }

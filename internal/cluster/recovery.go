@@ -67,6 +67,7 @@ func (s *Site) Restart() error {
 	s.open = make(map[string]*openFile)
 	s.locks = lockmgr.NewManager(s.st)
 	s.locks.SetTracer(s.tr)
+	s.locks.SetClock(s.cl.cfg.Clock)
 	s.procs = proc.NewTable(s.id, s.st)
 	s.prepared = make(map[string]*preparedTxn)
 	s.coord = nil
@@ -91,6 +92,7 @@ func (s *Site) Restart() error {
 		}
 		vol.DoubleLogWrite = s.cl.cfg.DoubleLogWrites
 		vol.SetTracer(s.tr)
+		vol.SetClock(s.cl.cfg.Clock)
 		vol.Log().StartGroupCommit(s.cl.cfg.groupCommit())
 		vs.vol = vol
 		if err := tpc.PinPreparedPages(vol); err != nil {
@@ -117,6 +119,7 @@ func (s *Site) Restart() error {
 		if err != nil {
 			return fmt.Errorf("cluster: reload replica %q: %w", rep.vs.name, err)
 		}
+		vol.SetClock(s.cl.cfg.Clock)
 		rep.vs.vol = vol
 		if err := rep.vs.loadDirectory(); err != nil {
 			return err

@@ -50,7 +50,9 @@ type replRemoveReq struct{ Path string }
 
 // newReplicaDisk builds the disk backing a replica volume.
 func newReplicaDisk(c *Cluster, volName string, site simnet.SiteID) *simdisk.Disk {
-	return simdisk.New(fmt.Sprintf("%s@%v", volName, site), c.cfg.VolumePages, c.cfg.PageSize, c.st)
+	d := simdisk.New(fmt.Sprintf("%s@%v", volName, site), c.cfg.VolumePages, c.cfg.PageSize, c.st)
+	d.SetClock(c.cfg.Clock)
+	return d
 }
 
 // formatReplica formats a replica volume on its disk.
@@ -87,7 +89,9 @@ func (c *Cluster) AddReplica(volName string, site simnet.SiteID) error {
 	if err != nil {
 		return err
 	}
+	vol.SetClock(c.cfg.Clock)
 	vs := &volState{name: volName, disk: disk, vol: vol}
+	vs.dirMu.SetClock(c.cfg.Clock)
 	if err := vs.initDirectory(); err != nil {
 		return err
 	}

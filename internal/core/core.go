@@ -236,6 +236,7 @@ func (sys *System) StartDeadlockDetector(interval time.Duration) {
 		Collect: sys.cl.WaitEdges,
 		Policy:  wfg.VictimYoungest,
 		Tracer:  sys.detectorTracer(),
+		Clock:   sys.cl.Clock(),
 		OnVictim: func(group string, cycle []string) {
 			const p = "txn:"
 			if len(group) > len(p) && group[:len(p)] == p {

@@ -33,6 +33,7 @@ import (
 	"repro/internal/simdisk"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/vtime"
 )
 
 // Filesystem limits and magic numbers.
@@ -126,6 +127,8 @@ type Volume struct {
 	DoubleLogWrite bool
 
 	stale atomic.Bool // set by Invalidate; fences every mutation
+
+	clk vtime.Clock // set by SetClock; nil means real time
 
 	mu        sync.Mutex
 	allocated map[int]bool // data-region pages currently in use
@@ -276,6 +279,26 @@ func (v *Volume) Name() string { return v.name }
 // SetTracer attaches an event tracer; log forces and group-commit
 // batches are recorded through it.  Call right after Format/Load.
 func (v *Volume) SetTracer(t *trace.Tracer) { v.tr = t }
+
+// SetClock binds the volume's clock-sensitive pieces (the log store's
+// lock, which is held across forced writes) to the given clock.  Call
+// before the volume sees traffic; nil is ignored.
+func (v *Volume) SetClock(c vtime.Clock) {
+	if c != nil {
+		v.clk = c
+		v.log.setClock(c)
+	}
+}
+
+// Clock returns the clock bound by SetClock (never nil: defaults to the
+// real-time clock).  The shadow layer binds its per-file mutexes - held
+// across forced page writes - to it.
+func (v *Volume) Clock() vtime.Clock {
+	if v.clk == nil {
+		return vtime.Real()
+	}
+	return v.clk
+}
 
 // Tracer returns the attached tracer, nil if tracing is disabled.  The
 // shadow layer picks it up here, alongside Stats.

@@ -3,6 +3,8 @@ package fs
 import (
 	"sync"
 	"time"
+
+	"repro/internal/vtime"
 )
 
 // GroupCommitConfig tunes the LogStore's group-commit daemon.
@@ -24,6 +26,10 @@ type GroupCommitConfig struct {
 	// flushing a non-full batch.  Zero disables group commit entirely:
 	// the store degrades to the paper's synchronous per-record writes.
 	MaxDelay time.Duration
+
+	// Clock paces the linger window and the submit/flush handshake.
+	// Nil means the real-time clock.
+	Clock vtime.Clock
 }
 
 // DefaultGroupCommitMaxBatch is used when GroupCommitConfig.MaxBatch is
@@ -50,28 +56,50 @@ type logReq struct {
 }
 
 // groupCommitter is the batching daemon.  Callers enqueue via submit and
-// block on their request's done channel; the run loop drains the queue in
+// park on their request's done channel; the run loop drains the queue in
 // MaxBatch-sized slices and hands each slice to LogStore.flushBatch.
+//
+// The wake handshake: the daemon sets waiting under gc.mu just before
+// parking on the cap-1 signal channel, and submit/stop send (with
+// vtime.NotifySend, which carries the waker's activity credit under a
+// virtual clock) only while that flag is up.  When the daemon is busy
+// flushing instead, senders merely update queue/stopped - state the run
+// loop re-reads under gc.mu after every flush - and send nothing.  A
+// credited token aimed at a busy daemon would strand in the channel
+// until the flush returned, and under a virtual clock a stranded credit
+// pins the activity counter above zero: simulated time freezes, the
+// flush's disk writes never complete, and the run deadlocks.
 type groupCommitter struct {
 	ls  *LogStore
 	cfg GroupCommitConfig
+	clk vtime.Clock
 
 	mu      sync.Mutex
-	cond    *sync.Cond
 	queue   []*logReq
 	stopped bool
+	waiting bool
 
-	exited chan struct{}
+	signal chan struct{}
+	exit   *vtime.Gate
 }
 
 func newGroupCommitter(ls *LogStore, cfg GroupCommitConfig) *groupCommitter {
-	gc := &groupCommitter{ls: ls, cfg: cfg, exited: make(chan struct{})}
-	gc.cond = sync.NewCond(&gc.mu)
-	go gc.run()
+	clk := cfg.Clock
+	if clk == nil {
+		clk = vtime.Real()
+	}
+	gc := &groupCommitter{
+		ls:     ls,
+		cfg:    cfg,
+		clk:    clk,
+		signal: make(chan struct{}, 1),
+		exit:   vtime.NewGate(clk),
+	}
+	clk.Go(gc.run)
 	return gc
 }
 
-// submit enqueues the request and blocks until its flush completes.
+// submit enqueues the request and parks until its flush completes.
 // handled is false when the daemon had already stopped, in which case the
 // caller must fall back to the synchronous path.
 func (gc *groupCommitter) submit(r *logReq) (err error, handled bool) {
@@ -82,30 +110,42 @@ func (gc *groupCommitter) submit(r *logReq) (err error, handled bool) {
 	}
 	r.done = make(chan error, 1)
 	gc.queue = append(gc.queue, r)
-	gc.cond.Signal()
+	if gc.waiting {
+		gc.waiting = false
+		vtime.NotifySend(gc.clk, gc.signal, struct{}{})
+	}
 	gc.mu.Unlock()
-	return <-r.done, true
+	err, _ = vtime.WaitRecv(gc.clk, r.done, 0)
+	return err, true
 }
 
 func (gc *groupCommitter) run() {
-	defer close(gc.exited)
+	defer gc.exit.Release()
 	for {
 		gc.mu.Lock()
-		for len(gc.queue) == 0 && !gc.stopped {
-			gc.cond.Wait()
-		}
-		if len(gc.queue) == 0 && gc.stopped {
+		if len(gc.queue) == 0 {
+			if gc.stopped {
+				gc.mu.Unlock()
+				return
+			}
+			gc.waiting = true
 			gc.mu.Unlock()
-			return
-		}
-		if len(gc.queue) < gc.cfg.maxBatch() && !gc.stopped {
-			// A flush just finished (or the queue just went non-empty):
-			// linger briefly so records arriving now share this force.
-			gc.mu.Unlock()
-			time.Sleep(gc.cfg.MaxDelay)
+			vtime.WaitRecv[struct{}](gc.clk, gc.signal, 0)
 			gc.mu.Lock()
+			gc.waiting = false
+			gc.mu.Unlock()
+			continue
 		}
 		n := len(gc.queue)
+		stopped := gc.stopped
+		gc.mu.Unlock()
+		if n < gc.cfg.maxBatch() && !stopped {
+			// A flush just finished (or the queue just went non-empty):
+			// linger briefly so records arriving now share this force.
+			gc.clk.Sleep(gc.cfg.MaxDelay)
+		}
+		gc.mu.Lock()
+		n = len(gc.queue)
 		if max := gc.cfg.maxBatch(); n > max {
 			n = max
 		}
@@ -114,7 +154,7 @@ func (gc *groupCommitter) run() {
 		gc.queue = append(gc.queue[:0], gc.queue[n:]...)
 		gc.mu.Unlock()
 
-		gc.ls.flushBatch(batch)
+		gc.ls.flushBatch(batch, gc.clk)
 	}
 }
 
@@ -123,15 +163,15 @@ func (gc *groupCommitter) run() {
 // handled == false.
 func (gc *groupCommitter) stop() {
 	gc.mu.Lock()
-	if gc.stopped {
-		gc.mu.Unlock()
-		<-gc.exited
-		return
+	if !gc.stopped {
+		gc.stopped = true
+		if gc.waiting {
+			gc.waiting = false
+			vtime.NotifySend(gc.clk, gc.signal, struct{}{})
+		}
 	}
-	gc.stopped = true
-	gc.cond.Broadcast()
 	gc.mu.Unlock()
-	<-gc.exited
+	gc.exit.Wait()
 }
 
 // StartGroupCommit attaches a group-commit daemon to the store.  With

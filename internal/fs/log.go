@@ -12,6 +12,7 @@ import (
 	"repro/internal/simdisk"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/vtime"
 )
 
 // LogKind classifies log records so recovery can dispatch them; the kind
@@ -89,12 +90,21 @@ type Record struct {
 type LogStore struct {
 	v *Volume
 
-	mu    sync.Mutex
+	// mu is clock-aware because it is held across forced disk writes:
+	// under a virtual clock a contender must park idly or time would
+	// freeze while the holder waits out its force.
+	mu    vtime.Mutex
 	slots map[string][]int // key -> pages (header first)
 	free  []int            // free log pages, ascending
 
 	gcMu sync.Mutex
 	gc   *groupCommitter
+}
+
+// setClock binds the store's lock (and any future daemon) to the clock.
+// Called once at volume wiring time, before traffic.
+func (l *LogStore) setClock(c vtime.Clock) {
+	l.mu.SetClock(c)
 }
 
 func newLogStore(v *Volume) *LogStore {
@@ -420,12 +430,12 @@ func (l *LogStore) Delete(key string) error {
 // own preparation succeeded: the batch loses whole records, never partial
 // ones, because each record's header page is ordered after its
 // continuation pages.
-func (l *LogStore) flushBatch(batch []*logReq) {
+func (l *LogStore) flushBatch(batch []*logReq, clk vtime.Clock) {
 	l.mu.Lock()
 	if err := l.v.staleErr(); err != nil {
 		l.mu.Unlock()
 		for _, r := range batch {
-			r.done <- err
+			vtime.NotifySend(clk, r.done, err)
 		}
 		return
 	}
@@ -473,7 +483,7 @@ func (l *LogStore) flushBatch(batch []*logReq) {
 		if err == nil && ends[i] > written {
 			err = werr
 		}
-		r.done <- err
+		vtime.NotifySend(clk, r.done, err)
 	}
 }
 

@@ -37,6 +37,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/vtime"
 )
 
 // Mode is a lock mode.  ModeShared and ModeExclusive are requestable;
@@ -176,6 +177,7 @@ type FileLocks struct {
 	sizeFn func() int64 // current working file size, for AtEOF
 	st     *stats.Set
 	tr     *trace.Tracer // nil disables lock-event tracing
+	clk    vtime.Clock   // paces waits and queue-age arithmetic
 
 	mu      sync.Mutex
 	entries []*entry
@@ -188,7 +190,7 @@ func NewFileLocks(id string, sizeFn func() int64, st *stats.Set) *FileLocks {
 	if sizeFn == nil {
 		sizeFn = func() int64 { return 0 }
 	}
-	return &FileLocks{id: id, sizeFn: sizeFn, st: st}
+	return &FileLocks{id: id, sizeFn: sizeFn, st: st, clk: vtime.Real()}
 }
 
 // ID returns the file's identifier.
@@ -198,6 +200,14 @@ func (fl *FileLocks) ID() string { return fl.id }
 // the list sees traffic; lock request/grant/wait/deny events carry the
 // requesting group as the transaction and the file id as the object.
 func (fl *FileLocks) SetTracer(t *trace.Tracer) { fl.tr = t }
+
+// SetClock attaches the clock pacing waits.  Call before the list sees
+// traffic; nil is ignored.
+func (fl *FileLocks) SetClock(c vtime.Clock) {
+	if c != nil {
+		fl.clk = c
+	}
+}
 
 // conflicting returns the groups whose entries block the request over s.
 // A process's own pre-transaction locks never block it: section 3.4 lets
@@ -290,41 +300,31 @@ func (fl *FileLocks) Lock(req Request) (Result, error) {
 		groups := fl.blockingGroups(req)
 		return Result{}, fmt.Errorf("%w: %s held by %s", ErrConflict, fl.id, strings.Join(groups, ","))
 	}
-	// Queue and wait.
-	w := &waiter{req: req, done: make(chan grant, 1), enqueued: time.Now()}
+	// Queue and wait.  The wait parks through the clock so a virtual
+	// clock advances past it; grants and cancellations arrive as
+	// credited sends from pumpQueueLocked / CancelWaiters.
+	w := &waiter{req: req, done: make(chan grant, 1), enqueued: fl.clk.Now()}
 	fl.queue = append(fl.queue, w)
 	fl.st.Inc(stats.LockWaits)
 	fl.tr.Record(trace.LockWait, req.Holder.Group(), fl.id, int64(len(fl.queue)))
 	fl.mu.Unlock()
 
-	var timeout <-chan time.Time
-	if req.Timeout > 0 {
-		t := time.NewTimer(req.Timeout)
-		defer t.Stop()
-		timeout = t.C
-	}
-	select {
-	case g := <-w.done:
-		if g.err == nil {
-			fl.st.Inc(stats.LockAcquires)
-			fl.tr.Record(trace.LockGrant, req.Holder.Group(), fl.id, g.res.Len)
-		}
-		return g.res, g.err
-	case <-timeout:
+	g, ok := vtime.WaitRecv(fl.clk, w.done, req.Timeout)
+	if !ok {
 		fl.removeWaiter(w)
 		// A grant may have raced the timeout.
-		select {
-		case g := <-w.done:
-			if g.err == nil {
-				fl.st.Inc(stats.LockAcquires)
-				fl.tr.Record(trace.LockGrant, req.Holder.Group(), fl.id, g.res.Len)
-			}
-			return g.res, g.err
-		default:
+		if g2, ok2 := vtime.TryRecv(fl.clk, w.done); ok2 {
+			g = g2
+		} else {
+			fl.tr.Record(trace.LockDeny, req.Holder.Group(), fl.id, 0)
+			return Result{}, fmt.Errorf("%w: %s", ErrTimeout, fl.id)
 		}
-		fl.tr.Record(trace.LockDeny, req.Holder.Group(), fl.id, 0)
-		return Result{}, fmt.Errorf("%w: %s", ErrTimeout, fl.id)
 	}
+	if g.err == nil {
+		fl.st.Inc(stats.LockAcquires)
+		fl.tr.Record(trace.LockGrant, req.Holder.Group(), fl.id, g.res.Len)
+	}
+	return g.res, g.err
 }
 
 // blockingGroups recomputes the groups blocking req (for error text).
@@ -374,7 +374,7 @@ func (fl *FileLocks) pumpQueueLocked() {
 	var still []*waiter
 	for _, w := range fl.queue {
 		if res, ok := fl.tryGrantLocked(w.req); ok {
-			w.done <- grant{res: res}
+			vtime.NotifySend(fl.clk, w.done, grant{res: res})
 		} else {
 			still = append(still, w)
 		}
@@ -457,7 +457,7 @@ func (fl *FileLocks) CancelWaiters(group string) {
 	var still []*waiter
 	for _, w := range fl.queue {
 		if w.req.Holder.Group() == group {
-			w.done <- grant{err: fmt.Errorf("%w: %s on %s", ErrCancelled, group, fl.id)}
+			vtime.NotifySend(fl.clk, w.done, grant{err: fmt.Errorf("%w: %s on %s", ErrCancelled, group, fl.id)})
 			continue
 		}
 		still = append(still, w)
@@ -597,7 +597,7 @@ func (fl *FileLocks) QueueInfo() QueueInfo {
 	fl.mu.Lock()
 	defer fl.mu.Unlock()
 	qi := QueueInfo{FileID: fl.id, Depth: len(fl.queue)}
-	now := time.Now()
+	now := fl.clk.Now()
 	for _, w := range fl.queue {
 		if age := now.Sub(w.enqueued); age > qi.OldestWait {
 			qi.OldestWait = age
@@ -624,6 +624,7 @@ type lockShard struct {
 type Manager struct {
 	st     *stats.Set
 	tr     *trace.Tracer // installed on lock lists created after SetTracer
+	clk    vtime.Clock   // inherited by lock lists created after SetClock
 	shards [numShards]lockShard
 }
 
@@ -660,6 +661,7 @@ func (m *Manager) File(id string, sizeFn func() int64) *FileLocks {
 	if !ok {
 		fl = NewFileLocks(id, sizeFn, m.st)
 		fl.SetTracer(m.tr)
+		fl.SetClock(m.clk)
 		s.files[id] = fl
 	}
 	return fl
@@ -668,6 +670,10 @@ func (m *Manager) File(id string, sizeFn func() int64) *FileLocks {
 // SetTracer attaches an event tracer; lock lists created afterwards
 // inherit it.  Call right after NewManager, before any File calls.
 func (m *Manager) SetTracer(t *trace.Tracer) { m.tr = t }
+
+// SetClock attaches a clock; lock lists created afterwards inherit it.
+// Call right after NewManager, before any File calls.
+func (m *Manager) SetClock(c vtime.Clock) { m.clk = c }
 
 // Files returns the ids of every file with lock state, sorted.  Audit
 // tools walk this to scan the whole lock table for conflicts.

@@ -30,12 +30,12 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"sync"
 
 	"repro/internal/costmodel"
 	"repro/internal/fs"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/vtime"
 )
 
 // Owner identifies the holder of uncommitted modifications: a transaction
@@ -133,7 +133,10 @@ type File struct {
 	// 1985 implementation.
 	CleanCacheForDiff bool
 
-	mu      sync.Mutex
+	// mu is clock-aware because it is held across forced page and inode
+	// writes (prepare, commit): under a virtual clock a plain mutex
+	// would stall time while the holder parks in simulated disk latency.
+	mu      vtime.Mutex
 	ino     *fs.Inode
 	size    int64 // working size including uncommitted extensions
 	pages   map[int]*pageState
@@ -150,7 +153,7 @@ func Open(v *fs.Volume, ino int) (*File, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &File{
+	f := &File{
 		v:       v,
 		st:      v.Stats(),
 		ino:     node,
@@ -158,7 +161,9 @@ func Open(v *fs.Volume, ino int) (*File, error) {
 		pages:   make(map[int]*pageState),
 		maxPtrs: fs.MaxPointers(v.PageSize()),
 		cache:   make(map[int][]byte),
-	}, nil
+	}
+	f.mu.SetClock(v.Clock())
+	return f, nil
 }
 
 // cacheGet returns the cached committed image of a logical page, bumping

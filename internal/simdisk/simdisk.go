@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/stats"
+	"repro/internal/vtime"
 )
 
 // IOKind classifies a disk transfer for accounting (Figure 5 regenerates
@@ -100,14 +101,28 @@ type Disk struct {
 	stable   [][]byte       // committed page images; nil = never written
 	volatile map[int][]byte // async writes not yet flushed
 	crashed  bool
+	// epoch counts Crash calls.  A virtual-clock force parks with d.mu
+	// released; rechecking only d.crashed on wake would miss a
+	// crash-then-restart landing inside the park (the flag is false
+	// again), letting a pre-crash writer scribble over recovered state.
+	// The epoch turns that ABA into a visible failure.
+	epoch int64
 
 	// syncDelay is the simulated cost of one forced I/O (seek + sync).
 	// It is paid once per synchronous call - a WritePages batch pays it
-	// once no matter how many pages it carries - while d.mu is held, so
-	// one spindle serializes exactly as real hardware would.  Zero (the
-	// default) keeps the disk instantaneous for the paper's
-	// operation-counting benchmarks.
+	// once no matter how many pages it carries - and serializes through
+	// the spindle, so concurrent forces queue exactly as real hardware
+	// would.  Zero (the default) keeps the disk instantaneous for the
+	// paper's operation-counting benchmarks.
 	syncDelay time.Duration
+
+	// clock supplies the sync-delay wait.  Under the real clock the
+	// delay is slept while d.mu is held (the historical behaviour).
+	// Under a virtual clock force instead reserves a spindle slot
+	// (busyUntil), releases d.mu, parks until the slot's end, and
+	// re-validates - so virtual time advances through queued I/O.
+	clock     vtime.Clock
+	busyUntil time.Time
 
 	// crashAfter, when >= 0, crashes the disk after that many more
 	// stable page writes land (the write that would exceed the budget
@@ -142,7 +157,18 @@ func New(name string, numPages, pageSize int, st *stats.Set) *Disk {
 		volatile:   make(map[int][]byte),
 		crashAfter: -1,
 		kindWrites: make(map[IOKind]int64),
+		clock:      vtime.Real(),
 		st:         st,
+	}
+}
+
+// SetClock installs the clock charging the sync delay.  Call before the
+// disk sees traffic.
+func (d *Disk) SetClock(c vtime.Clock) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if c != nil {
+		d.clock = c
 	}
 }
 
@@ -271,7 +297,9 @@ func (d *Disk) WritePage(page int, data []byte, kind IOKind, sync bool) error {
 		d.volatile[page] = buf
 		return nil
 	}
-	d.force()
+	if err := d.force(); err != nil {
+		return err
+	}
 	return d.writeStableLocked(page, data, kind)
 }
 
@@ -288,8 +316,11 @@ type PageWrite struct {
 // cost - the ForcedIOs charge and the sync delay - exactly once.  This is
 // the primitive group commit builds on.
 //
-// The batch is atomic with respect to a concurrent Crash (the disk mutex
-// is held throughout), but an armed CrashAfterWrites fault can tear it:
+// The batch is atomic with respect to a concurrent Crash: under the real
+// clock the disk mutex is held throughout, and under a virtual clock any
+// crash (even one followed by a restart) landing in the sync-delay park
+// fails the whole batch before a single page is applied.  An armed
+// CrashAfterWrites fault can still tear it:
 // pages are then written strictly in slice order and the remainder is
 // lost, so callers ordering continuation pages before their header never
 // expose a partial record.  The returned count is how many leading pages
@@ -309,7 +340,9 @@ func (d *Disk) WritePages(writes []PageWrite) (int, error) {
 			return 0, fmt.Errorf("%w: got %d want %d on %s page %d", ErrBadSize, len(w.Data), d.pageSize, d.name, w.Page)
 		}
 	}
-	d.force()
+	if err := d.force(); err != nil {
+		return 0, err
+	}
 	for i, w := range writes {
 		if err := d.writeStableLocked(w.Page, w.Data, w.Kind); err != nil {
 			return i, err
@@ -318,13 +351,36 @@ func (d *Disk) WritePages(writes []PageWrite) (int, error) {
 	return len(writes), nil
 }
 
-// force charges one forced I/O and pays the sync delay.  Caller holds
-// d.mu, so the delay serializes all disk traffic like a single spindle.
-func (d *Disk) force() {
+// force charges one forced I/O and pays the sync delay.  Called with
+// d.mu held.  Real clock: the delay is slept under the mutex, so the
+// spindle serializes all traffic.  Virtual clock: a [busyUntil, end]
+// slot is reserved, the mutex dropped while the caller parks until the
+// slot ends, then retaken - queued forces complete in reservation
+// order, and a crash landing during the wait fails the write.
+func (d *Disk) force() error {
 	d.st.Inc(stats.ForcedIOs)
-	if d.syncDelay > 0 {
-		time.Sleep(d.syncDelay)
+	if d.syncDelay <= 0 {
+		return nil
 	}
+	v, ok := vtime.AsVirtual(d.clock)
+	if !ok {
+		d.clock.Sleep(d.syncDelay)
+		return nil
+	}
+	start := v.Now()
+	if d.busyUntil.After(start) {
+		start = d.busyUntil
+	}
+	end := start.Add(d.syncDelay)
+	d.busyUntil = end
+	epoch := d.epoch
+	d.mu.Unlock()
+	v.SleepUntil(end)
+	d.mu.Lock()
+	if d.crashed || d.epoch != epoch {
+		return ErrCrashed
+	}
+	return nil
 }
 
 // writeStableLocked lands one page on stable storage, stepping the armed
@@ -336,6 +392,7 @@ func (d *Disk) writeStableLocked(page int, data []byte, kind IOKind) error {
 			d.crashKindSet = false
 			d.volatile = make(map[int][]byte)
 			d.crashed = true
+			d.epoch++
 			return ErrCrashed
 		}
 		if d.crashAfter > 0 {
@@ -369,10 +426,16 @@ func (d *Disk) FlushPage(page int, kind IOKind) error {
 	if err := d.check(page); err != nil {
 		return err
 	}
-	if v, ok := d.volatile[page]; ok {
-		d.force()
-		if err := d.writeStableLocked(page, v, kind); err != nil {
+	if _, ok := d.volatile[page]; ok {
+		if err := d.force(); err != nil {
 			return err
+		}
+		// the virtual-clock force drops d.mu: re-fetch, since a racing
+		// flusher may have written (or a crash discarded) the page
+		if v, ok := d.volatile[page]; ok {
+			if err := d.writeStableLocked(page, v, kind); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -389,7 +452,9 @@ func (d *Disk) Flush() (int, error) {
 	if len(d.volatile) == 0 {
 		return 0, nil
 	}
-	d.force()
+	if err := d.force(); err != nil {
+		return 0, err
+	}
 	n := 0
 	for page, v := range d.volatile {
 		if err := d.writeStableLocked(page, v, IOData); err != nil {
@@ -415,6 +480,7 @@ func (d *Disk) Crash() {
 	defer d.mu.Unlock()
 	d.volatile = make(map[int][]byte)
 	d.crashed = true
+	d.epoch++
 }
 
 // Restart brings a crashed disk back online and disarms any pending

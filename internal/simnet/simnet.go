@@ -26,6 +26,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/vtime"
 )
 
 // SiteID names a network site (a machine running a Locus kernel).
@@ -135,6 +136,13 @@ type Config struct {
 	// RetryCap bounds the exponential CallRetry backoff.  Zero means
 	// 100ms.
 	RetryCap time.Duration
+	// Clock supplies latency waits and call timeouts.  Nil means the
+	// real-time clock (today's wall-clock behaviour).  With a virtual
+	// clock, transit latency and timeouts become simulated-time
+	// arithmetic: calls run inline on the caller with deterministic
+	// message-loss draws, and a lost message costs exactly CallTimeout
+	// of simulated time instead of a wall-clock wait.
+	Clock vtime.Clock
 }
 
 // FaultFilter inspects an outbound message and returns true to drop it.
@@ -145,7 +153,8 @@ type FaultFilter func(from, to SiteID, op string) bool
 
 // Network connects a set of site endpoints.
 type Network struct {
-	st *stats.Set
+	st    *stats.Set
+	clock vtime.Clock
 
 	mu       sync.Mutex
 	cfg      Config
@@ -172,12 +181,16 @@ func New(cfg Config, st *stats.Set) *Network {
 	if cfg.RetryCap <= 0 {
 		cfg.RetryCap = 100 * time.Millisecond
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = vtime.Real()
+	}
 	seed := cfg.Seed
 	if seed == 0 {
 		seed = 0x10c5 // fixed default for reproducibility
 	}
 	return &Network{
 		st:      st,
+		clock:   cfg.Clock,
 		cfg:     cfg,
 		rng:     rand.New(rand.NewSource(seed)),
 		sites:   make(map[SiteID]*Endpoint),
@@ -227,10 +240,12 @@ func (n *Network) Watch(fn func(TopologyEvent)) {
 	n.watchers = append(n.watchers, fn)
 }
 
-// notify must be called with n.mu held.
+// notify must be called with n.mu held.  Watchers run as clock actors
+// so a virtual clock cannot advance past their reactions.
 func (n *Network) notify(ev TopologyEvent) {
 	for _, w := range n.watchers {
-		go w(ev)
+		w := w
+		n.clock.Go(func() { w(ev) })
 	}
 }
 
@@ -500,10 +515,14 @@ func (e *Endpoint) Call(to SiteID, op string, req any) (any, error) {
 	n.st.Add(stats.Instructions, costmodel.InstrMsgHandling)
 	reqClock := e.tr.Load().MsgSend(op, "", int(to))
 
+	if v, ok := vtime.AsVirtual(n.clock); ok {
+		return e.callVirtual(v, dst, to, op, req, latency, timeout, dropReq, dropResp, dupReq, reqClock)
+	}
+
 	done := make(chan callResult, 1)
 	go func() {
 		if latency > 0 {
-			time.Sleep(latency)
+			n.clock.Sleep(latency)
 		}
 		if dropReq {
 			return // request lost; caller times out
@@ -521,10 +540,13 @@ func (e *Endpoint) Call(to SiteID, op string, req any) (any, error) {
 		n.st.Add(stats.Instructions, costmodel.InstrMsgHandling)
 		dst.tr.Load().MsgRecv(op, "", reqClock)
 		resp, herr := h(e.id, req)
-		if dupReq {
+		if dupReq && n.Reachable(e.id, to) {
 			// Duplicate delivery: the handler runs a second time with
 			// the same payload; only the first response is returned.
-			// Handlers must be idempotent (section 4.4).
+			// Handlers must be idempotent (section 4.4).  The duplicate
+			// is a distinct in-flight message, so it pays the same
+			// delivery-time reachability check as the original - a
+			// partition raised by the first invocation drops it.
 			n.st.Add(stats.Instructions, costmodel.InstrMsgHandling)
 			dst.tr.Load().MsgRecv(op, "", reqClock)
 			h(e.id, req) //nolint:errcheck // duplicate's result discarded
@@ -536,7 +558,7 @@ func (e *Endpoint) Call(to SiteID, op string, req any) (any, error) {
 		n.st.Add(stats.Instructions, costmodel.InstrMsgHandling)
 		respClock := dst.tr.Load().MsgSend(op+":resp", "", int(e.id))
 		if latency > 0 {
-			time.Sleep(latency)
+			n.clock.Sleep(latency)
 		}
 		if dropResp || !n.Reachable(to, e.id) {
 			return
@@ -548,15 +570,78 @@ func (e *Endpoint) Call(to SiteID, op string, req any) (any, error) {
 		done <- callResult{resp: resp, clock: respClock}
 	}()
 
+	t := n.clock.NewTimer(timeout)
+	defer t.Stop()
 	select {
 	case r := <-done:
 		if r.clock != 0 {
 			e.tr.Load().MsgRecv(op+":resp", "", r.clock)
 		}
 		return r.resp, r.err
-	case <-time.After(timeout):
+	case <-t.C():
 		return nil, fmt.Errorf("%w: %s -> %s (%s)", ErrTimeout, e.id, to, op)
 	}
+}
+
+// callVirtual is the discrete-event form of Call: the whole exchange
+// runs inline on the caller's goroutine with transit latency charged as
+// virtual Sleep, so no delivery goroutine or timer exists.  The fault
+// draws were already taken (in the same order as the real path, so a
+// seed behaves identically in both modes).  A lost message costs the
+// caller exactly the remainder of its timeout in simulated time.  One
+// deliberate divergence from the real path: the timeout fires only on
+// message loss or in-flight unreachability, never merely because the
+// handler was slow - the caller observes the handler's simulated
+// duration instead.
+func (e *Endpoint) callVirtual(v *vtime.Virtual, dst *Endpoint, to SiteID, op string, req any,
+	latency, timeout time.Duration, dropReq, dropResp, dupReq bool, reqClock uint64) (any, error) {
+	n := e.net
+	start := v.Now()
+	lost := func() (any, error) {
+		if rem := timeout - v.Now().Sub(start); rem > 0 {
+			v.Sleep(rem)
+		}
+		return nil, fmt.Errorf("%w: %s -> %s (%s)", ErrTimeout, e.id, to, op)
+	}
+
+	v.Sleep(latency)
+	if dropReq || !n.Reachable(e.id, to) {
+		return lost()
+	}
+	h, err := dst.handler(op)
+	if err != nil {
+		return nil, err
+	}
+	n.st.Add(stats.Instructions, costmodel.InstrMsgHandling)
+	dst.tr.Load().MsgRecv(op, "", reqClock)
+	resp, herr := h(e.id, req)
+	if dupReq && n.Reachable(e.id, to) {
+		n.st.Add(stats.Instructions, costmodel.InstrMsgHandling)
+		dst.tr.Load().MsgRecv(op, "", reqClock)
+		h(e.id, req) //nolint:errcheck // duplicate's result discarded
+	}
+
+	// Response leg.
+	n.st.Inc(stats.MsgsSent)
+	n.st.Add(stats.BytesSent, int64(payloadSize(resp)))
+	n.st.Add(stats.Instructions, costmodel.InstrMsgHandling)
+	respClock := dst.tr.Load().MsgSend(op+":resp", "", int(e.id))
+	v.Sleep(latency)
+	if dropResp || !n.Reachable(to, e.id) {
+		return lost()
+	}
+	if v.Now().Sub(start) >= timeout && timeout > 0 {
+		// The response exists but arrived after the caller gave up -
+		// same outcome as the real path's raced timer.
+		return nil, fmt.Errorf("%w: %s -> %s (%s)", ErrTimeout, e.id, to, op)
+	}
+	if respClock != 0 {
+		e.tr.Load().MsgRecv(op+":resp", "", respClock)
+	}
+	if herr != nil {
+		return nil, &RemoteError{Op: op, Site: to, Err: herr}
+	}
+	return resp, nil
 }
 
 // backoff returns the pause before retry i (0-based): exponential from
@@ -599,7 +684,7 @@ func (e *Endpoint) CallRetry(to SiteID, op string, req any, attempts int) (any, 
 	var err error
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
-			time.Sleep(e.net.backoff(i - 1))
+			e.net.clock.Sleep(e.net.backoff(i - 1))
 		}
 		var resp any
 		resp, err = e.Call(to, op, req)
@@ -643,9 +728,9 @@ func (e *Endpoint) Send(to SiteID, op string, req any) {
 	n.st.Add(stats.Instructions, costmodel.InstrMsgHandling)
 	sendClock := e.tr.Load().MsgSend(op, "", int(to))
 
-	go func() {
+	n.clock.Go(func() {
 		if latency > 0 {
-			time.Sleep(latency)
+			n.clock.Sleep(latency)
 		}
 		if drop || !n.Reachable(e.id, to) {
 			return
@@ -657,10 +742,11 @@ func (e *Endpoint) Send(to SiteID, op string, req any) {
 		n.st.Add(stats.Instructions, costmodel.InstrMsgHandling)
 		dst.tr.Load().MsgRecv(op, "", sendClock)
 		h(e.id, req) //nolint:errcheck // one-way: result discarded
-		if dup {
+		if dup && n.Reachable(e.id, to) {
+			// Same delivery-time reachability rule as Call's duplicate.
 			n.st.Add(stats.Instructions, costmodel.InstrMsgHandling)
 			dst.tr.Load().MsgRecv(op, "", sendClock)
 			h(e.id, req) //nolint:errcheck // duplicate delivery; handlers are idempotent
 		}
-	}()
+	})
 }

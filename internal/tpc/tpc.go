@@ -41,6 +41,7 @@ import (
 	"repro/internal/simnet"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/vtime"
 )
 
 // Status is a transaction's outcome as recorded in the coordinator log.
@@ -278,6 +279,9 @@ type Config struct {
 	// one combined prepare-and-commit message.  Off (the default) runs
 	// the paper-exact protocol.
 	FastPaths bool
+	// Clock paces the retry timer and the fan-out goroutines.  Nil
+	// means the real-time clock.
+	Clock vtime.Clock
 }
 
 // maxFanout bounds the goroutines a single phase-two or outcome fan-out
@@ -300,27 +304,41 @@ type Coordinator struct {
 	st   *stats.Set
 	trc  *trace.Tracer // nil disables 2PC phase tracing
 	cfg  Config
+	clk  vtime.Clock
 
 	mu      sync.Mutex
 	pending map[string]*pendingTxn
 	done    map[string]Status // completed this incarnation (for StatusOf)
 
-	closeOnce sync.Once
-	closed    chan struct{} // stops retryLoop
+	// retryLoop shutdown handshake.  Close wakes the loop with a
+	// credited send only while it is parked on stopCh (stopWaiting);
+	// when the loop is busy inside RetryPending the flag alone is set
+	// and the loop notices it on its next pass.  Sending a credited
+	// token at a busy loop would strand the credit in the channel:
+	// under a virtual clock that pins the activity counter above zero,
+	// freezing simulated time while the loop waits on it - deadlock.
+	stopMu      sync.Mutex
+	stopping    bool
+	stopWaiting bool
+	stopCh      chan struct{}
 }
 
 // NewCoordinator creates a coordinator logging to vol.  A coordinator
 // with a retry timer owns a goroutine; Close it when the site shuts down
 // or crashes.
 func NewCoordinator(site simnet.SiteID, vol *fs.Volume, tr Transport, st *stats.Set, cfg Config) *Coordinator {
+	clk := cfg.Clock
+	if clk == nil {
+		clk = vtime.Real()
+	}
 	c := &Coordinator{
-		site: site, vol: vol, tr: tr, st: st, cfg: cfg,
+		site: site, vol: vol, tr: tr, st: st, cfg: cfg, clk: clk,
 		pending: make(map[string]*pendingTxn),
 		done:    make(map[string]Status),
-		closed:  make(chan struct{}),
+		stopCh:  make(chan struct{}, 1),
 	}
 	if cfg.RetryInterval > 0 {
-		go c.retryLoop()
+		clk.Go(c.retryLoop)
 	}
 	return c
 }
@@ -335,7 +353,13 @@ func (c *Coordinator) SetTracer(t *trace.Tracer) { c.trc = t }
 // the coordinator log survives, and Recover (or a fresh coordinator's
 // RetryPending) re-drives it - exactly the crash path of section 4.4.
 func (c *Coordinator) Close() {
-	c.closeOnce.Do(func() { close(c.closed) })
+	c.stopMu.Lock()
+	defer c.stopMu.Unlock()
+	c.stopping = true
+	if c.stopWaiting {
+		c.stopWaiting = false
+		vtime.NotifySend(c.clk, c.stopCh, struct{}{})
+	}
 }
 
 // participants groups the file list by storage site.
@@ -407,16 +431,17 @@ func (c *Coordinator) CommitTransaction(txid string, files []proc.FileRef) error
 	}
 	results := make(chan prepResult, len(parts))
 	for site, ids := range parts {
-		go func(site simnet.SiteID, ids []string) {
+		site, ids := site, ids
+		c.clk.Go(func() {
 			vote, err := c.tr.SendPrepare(site, txid, ids, c.site)
-			results <- prepResult{site, vote, err}
-		}(site, ids)
+			vtime.NotifySend(c.clk, results, prepResult{site, vote, err})
+		})
 	}
 	votes := make(map[simnet.SiteID]error, len(parts))
 	readOnly := make(map[simnet.SiteID]bool)
 	var prepErr error
 	for range parts {
-		r := <-results
+		r, _ := vtime.WaitRecv(c.clk, results, 0)
 		votes[r.site] = r.err
 		if r.err == nil && r.vote == VoteReadOnly {
 			readOnly[r.site] = true
@@ -503,7 +528,7 @@ func (c *Coordinator) CommitTransaction(txid string, files []proc.FileRef) error
 	if c.cfg.SyncPhase2 {
 		c.runPhase2(txid)
 	} else {
-		go c.runPhase2(txid)
+		c.clk.Go(func() { c.runPhase2(txid) })
 	}
 	return nil
 }
@@ -573,22 +598,21 @@ func (c *Coordinator) AbortTransaction(txid string, files []proc.FileRef) error 
 // concurrently, best effort.  A slow or unreachable site cannot delay
 // delivery to the others; it only delays the return.
 func (c *Coordinator) distributeOutcome(txid string, parts map[simnet.SiteID][]string, commit bool) {
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxFanout)
+	g := vtime.NewGroup(c.clk)
+	sem := vtime.NewSemaphore(c.clk, maxFanout)
 	for site := range parts {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(site simnet.SiteID) {
-			defer wg.Done()
-			defer func() { <-sem }()
+		site := site
+		sem.Acquire()
+		g.Go(func() {
+			defer sem.Release()
 			if commit {
 				c.tr.SendCommit(site, txid) //nolint:errcheck // retried by phase-2 machinery
 			} else {
 				c.tr.SendAbort(site, txid) //nolint:errcheck // duplicates are harmless; recovery re-sends
 			}
-		}(site)
+		})
 	}
-	wg.Wait()
+	g.Wait()
 }
 
 // runPhase2 drives commit messages until every participant acknowledges,
@@ -612,20 +636,19 @@ func (c *Coordinator) runPhase2(txid string) {
 	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
 
 	acked := make([]bool, len(sites))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxFanout)
+	g := vtime.NewGroup(c.clk)
+	sem := vtime.NewSemaphore(c.clk, maxFanout)
 	for i, site := range sites {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, site simnet.SiteID) {
-			defer wg.Done()
-			defer func() { <-sem }()
+		i, site := i, site
+		sem.Acquire()
+		g.Go(func() {
+			defer sem.Release()
 			if err := c.tr.SendCommit(site, txid); err == nil {
 				acked[i] = true
 			}
-		}(i, site)
+		})
 	}
-	wg.Wait()
+	g.Wait()
 
 	c.mu.Lock()
 	for i, site := range sites {
@@ -669,30 +692,43 @@ func (c *Coordinator) RetryPending() {
 		}
 	}
 	c.mu.Unlock()
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxFanout)
+	g := vtime.NewGroup(c.clk)
+	sem := vtime.NewSemaphore(c.clk, maxFanout)
 	for _, txid := range txids {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(txid string) {
-			defer wg.Done()
-			defer func() { <-sem }()
+		txid := txid
+		sem.Acquire()
+		g.Go(func() {
+			defer sem.Release()
 			c.runPhase2(txid)
-		}(txid)
+		})
 	}
-	wg.Wait()
+	g.Wait()
 }
 
 func (c *Coordinator) retryLoop() {
-	t := time.NewTicker(c.cfg.RetryInterval)
-	defer t.Stop()
 	for {
-		select {
-		case <-t.C:
-			c.RetryPending()
-		case <-c.closed:
+		c.stopMu.Lock()
+		if c.stopping {
+			c.stopMu.Unlock()
 			return
 		}
+		c.stopWaiting = true
+		c.stopMu.Unlock()
+		_, woken := vtime.WaitRecv[struct{}](c.clk, c.stopCh, c.cfg.RetryInterval)
+		c.stopMu.Lock()
+		c.stopWaiting = false
+		stopping := c.stopping
+		c.stopMu.Unlock()
+		if !woken {
+			// Close may have raced the timeout: it saw the loop still
+			// waiting and sent the token just as the timer fired.
+			// Absorb it here or its credit strands.
+			_, woken = vtime.TryRecv[struct{}](c.clk, c.stopCh)
+		}
+		if woken || stopping {
+			return
+		}
+		c.RetryPending()
 	}
 }
 

@@ -118,6 +118,10 @@ type Tracer struct {
 	seq   atomic.Uint64
 	mask  uint64
 	ring  []atomic.Pointer[Event]
+	// now stamps Event.Wall; nil means time.Now.  A virtual clock
+	// installs its own source so wall ordering and the phase-latency
+	// histograms read in simulated time.
+	now func() time.Time
 }
 
 // NewTracer builds a standalone tracer for site id with the given ring
@@ -149,6 +153,10 @@ func (t *Tracer) Clock() uint64 {
 
 func (t *Tracer) emit(clock uint64, typ EventType, txn, object string, arg int64) {
 	seq := t.seq.Add(1) - 1
+	wall := time.Now()
+	if t.now != nil {
+		wall = t.now()
+	}
 	ev := &Event{
 		Seq:    seq,
 		Clock:  clock,
@@ -157,7 +165,7 @@ func (t *Tracer) emit(clock uint64, typ EventType, txn, object string, arg int64
 		Txn:    txn,
 		Object: object,
 		Arg:    arg,
-		Wall:   time.Now(),
+		Wall:   wall,
 	}
 	t.ring[seq&t.mask].Store(ev)
 }
@@ -229,7 +237,24 @@ type Collector struct {
 	ringSize int
 
 	mu      sync.Mutex
+	now     func() time.Time
 	tracers map[int]*Tracer
+}
+
+// SetNow installs the timestamp source handed to every tracer, existing
+// and future (nil restores time.Now).  Call before the run starts: the
+// cluster wires its clock here so a virtual-time run's Wall stamps, and
+// the latency histograms derived from them, read in simulated time.
+func (c *Collector) SetNow(now func() time.Time) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = now
+	for _, t := range c.tracers {
+		t.now = now
+	}
 }
 
 // NewCollector builds a collector whose tracers use the given ring size
@@ -253,6 +278,7 @@ func (c *Collector) Site(id int) *Tracer {
 	t := c.tracers[id]
 	if t == nil {
 		t = NewTracer(id, c.ringSize)
+		t.now = c.now
 		c.tracers[id] = t
 	}
 	return t

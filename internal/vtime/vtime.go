@@ -1,0 +1,738 @@
+// Package vtime provides the clock abstraction behind the simulation
+// substrate: a Clock interface with a real-time implementation (the
+// default, preserving the paper-exact wall-clock behaviour byte for
+// byte) and a deterministic discrete-event virtual implementation where
+// latency is timestamp arithmetic instead of sleeping.
+//
+// # The virtual clock
+//
+// Virtual time never flows on its own.  Every goroutine that can touch
+// the clock is a registered *actor* holding one activity token; an
+// actor parks (Sleep, the credited wait helpers, Group.Wait, ...) by
+// releasing its token, and when the counter hits zero the clock is
+// quiescent: no registered actor can take another step at the current
+// instant, so the only causally-valid next step is the earliest pending
+// event.  Time jumps there, every event at that deadline fires, and the
+// woken actors resume.  Because the clock only advances at quiescence,
+// goroutine interleavings stay causally valid: nothing observes a
+// timestamp that concurrent work at an earlier instant could still
+// contradict.
+//
+// # The credit rule
+//
+// The activity counter is kept exact by a strict token-handoff rule:
+// whoever wakes a parked actor supplies the token it resumes with.  A
+// firing timer credits each sleeper it wakes; NotifySend attaches a
+// credit to the value it delivers (and attaches none when the channel
+// is full, so credits cannot leak); Group and Gate transfer the last
+// worker's token to the joiner.  An actor therefore always ends a wait
+// holding exactly one token, and the counter can hit zero only when
+// every actor is genuinely parked - never in the window between a wake
+// being decided and the woken goroutine being scheduled.
+//
+// Code that parks on a channel in virtual mode must use the credited
+// helpers (WaitRecv / TryRecv paired with NotifySend, or Group, Gate,
+// Semaphore).  Raw After/NewTimer events carry no credit and fire only
+// once every actor is idle; they are for actors that remain busy, not
+// for parking.
+package vtime
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the simulation substrate.  Real() is the
+// zero-cost passthrough to package time; NewVirtual() is the
+// discrete-event scheduler.
+type Clock interface {
+	// Now returns the current (real or simulated) time.
+	Now() time.Time
+	// Sleep pauses the calling actor for d (non-positive returns
+	// immediately).
+	Sleep(d time.Duration)
+	// After returns a channel that receives the time after d.
+	After(d time.Duration) <-chan time.Time
+	// NewTimer returns a stoppable timer firing after d.
+	NewTimer(d time.Duration) Timer
+	// Go runs fn on its own goroutine.  Under the virtual clock the
+	// goroutine is a registered actor: it holds an activity token from
+	// before launch until fn returns, so the clock cannot advance past
+	// work it still owes.
+	Go(fn func())
+}
+
+// Timer is a stoppable single-shot timer.
+type Timer interface {
+	// C returns the firing channel.
+	C() <-chan time.Time
+	// Stop cancels the timer, reporting whether it was still pending.
+	Stop() bool
+}
+
+// ---- real clock ----
+
+type realClock struct{}
+
+// Real returns the real-time clock: a stateless passthrough to package
+// time.  All components default to it, keeping today's wall-clock
+// behaviour exactly.
+func Real() Clock { return realClock{} }
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+func (realClock) Go(fn func())                           { go fn() }
+
+type realTimer struct{ t *time.Timer }
+
+func (realClock) NewTimer(d time.Duration) Timer { return realTimer{time.NewTimer(d)} }
+
+func (t realTimer) C() <-chan time.Time { return t.t.C }
+func (t realTimer) Stop() bool          { return t.t.Stop() }
+
+// ---- virtual clock ----
+
+// virtualEpoch is the fixed instant a virtual clock starts at; using a
+// constant keeps every timestamp a pure function of the workload.
+var virtualEpoch = time.Date(2000, time.January, 1, 0, 0, 0, 0, time.UTC)
+
+// event is one pending deadline on the virtual clock's queue.
+type event struct {
+	at  time.Duration // offset from the epoch
+	seq uint64        // tie-break so same-instant events fire in creation order
+	idx int           // heap index; -1 once fired or removed
+
+	// credited events hand a token to the actor they wake (Sleep and
+	// the WaitRecv timeout); uncredited events (After/NewTimer) fire
+	// for actors that stayed busy.
+	credited bool
+
+	ch    chan struct{}  // closed at fire when non-nil (Sleep, WaitRecv)
+	tch   chan time.Time // receives the fire time when non-nil (After, NewTimer)
+	fired bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx, h[j].idx = i, j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Virtual is the deterministic discrete-event clock.  The goroutine
+// that calls NewVirtual is its first registered actor.
+type Virtual struct {
+	mu     sync.Mutex
+	now    time.Duration // elapsed virtual time since the epoch
+	active int           // tokens held by runnable actors
+	seq    uint64
+	events eventHeap
+}
+
+// NewVirtual creates a virtual clock whose time starts at a fixed epoch.
+// The calling goroutine is registered as an actor and must drive the
+// simulation (or park through the clock) for time to advance.
+func NewVirtual() *Virtual {
+	return &Virtual{active: 1}
+}
+
+// DebugState reports the instantaneous token count and pending-event
+// count - a forensic aid when a simulation freezes (active > 0 with
+// every goroutine parked means a credited value was stranded in a
+// channel nobody receives).
+func (v *Virtual) DebugState() (active, events int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.active, len(v.events)
+}
+
+// AsVirtual reports whether c is a virtual clock, returning it.
+func AsVirtual(c Clock) (*Virtual, bool) {
+	v, ok := c.(*Virtual)
+	return v, ok
+}
+
+// Now returns the current virtual time.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return virtualEpoch.Add(v.now)
+}
+
+// Elapsed returns the total simulated time since the clock was created.
+func (v *Virtual) Elapsed() time.Duration {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// scheduleLocked queues an event d from now.  Caller holds v.mu.
+func (v *Virtual) scheduleLocked(d time.Duration, credited bool) *event {
+	v.seq++
+	ev := &event{at: v.now + d, seq: v.seq, credited: credited}
+	heap.Push(&v.events, ev)
+	return ev
+}
+
+// releaseLocked gives up the caller's token and, at quiescence, advances
+// time to the earliest deadline and fires everything scheduled there.
+// Caller holds v.mu.
+func (v *Virtual) releaseLocked() {
+	v.active--
+	if v.active < 0 {
+		panic("vtime: activity token underflow (unbalanced release)")
+	}
+	for v.active == 0 {
+		if len(v.events) == 0 {
+			// Every actor is parked on a channel and no deadline is
+			// pending: only a credited send could make progress, and
+			// nobody is left to send one.
+			panic("vtime: deadlock: all actors idle with no pending events")
+		}
+		at := v.events[0].at
+		if at < v.now {
+			panic(fmt.Sprintf("vtime: event scheduled in the past (%v < %v)", at, v.now))
+		}
+		v.now = at
+		for len(v.events) > 0 && v.events[0].at == at {
+			v.fireLocked(heap.Pop(&v.events).(*event))
+		}
+	}
+}
+
+// fireLocked marks the event fired, credits its waker, and signals its
+// channel.  Caller holds v.mu.
+func (v *Virtual) fireLocked(ev *event) {
+	ev.fired = true
+	if ev.credited {
+		v.active++
+	}
+	if ev.ch != nil {
+		close(ev.ch)
+	}
+	if ev.tch != nil {
+		select {
+		case ev.tch <- virtualEpoch.Add(ev.at):
+		default:
+		}
+	}
+}
+
+// removeLocked unlinks a pending event.  Caller holds v.mu.
+func (v *Virtual) removeLocked(ev *event) {
+	if ev.idx >= 0 {
+		heap.Remove(&v.events, ev.idx)
+	}
+}
+
+// Sleep parks the calling actor until virtual time reaches now+d.
+func (v *Virtual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	v.mu.Lock()
+	ev := v.scheduleLocked(d, true)
+	ev.ch = make(chan struct{})
+	v.releaseLocked()
+	v.mu.Unlock()
+	<-ev.ch
+}
+
+// SleepUntil parks the calling actor until the given virtual instant
+// (returning immediately if it already passed).
+func (v *Virtual) SleepUntil(t time.Time) {
+	v.mu.Lock()
+	d := t.Sub(virtualEpoch.Add(v.now))
+	v.mu.Unlock()
+	v.Sleep(d)
+}
+
+// After returns a channel receiving the virtual time once it reaches
+// now+d.  The event is uncredited: it fires only at quiescence of other
+// actors, so the receiver must stay busy (or park via the credited
+// helpers) rather than treat this as a parking primitive.
+func (v *Virtual) After(d time.Duration) <-chan time.Time {
+	return v.NewTimer(d).C()
+}
+
+type virtualTimer struct {
+	v  *Virtual
+	ev *event
+}
+
+// NewTimer returns a stoppable uncredited timer (see After).
+func (v *Virtual) NewTimer(d time.Duration) Timer {
+	v.mu.Lock()
+	ev := v.scheduleLocked(d, false)
+	ev.tch = make(chan time.Time, 1)
+	v.mu.Unlock()
+	return &virtualTimer{v: v, ev: ev}
+}
+
+func (t *virtualTimer) C() <-chan time.Time { return t.ev.tch }
+
+func (t *virtualTimer) Stop() bool {
+	t.v.mu.Lock()
+	defer t.v.mu.Unlock()
+	pending := !t.ev.fired && t.ev.idx >= 0
+	t.v.removeLocked(t.ev)
+	return pending
+}
+
+// Go launches fn as a registered actor: its token is taken before the
+// goroutine starts, so the clock cannot advance past it.
+func (v *Virtual) Go(fn func()) {
+	v.mu.Lock()
+	v.active++
+	v.mu.Unlock()
+	go func() {
+		defer v.release()
+		fn()
+	}()
+}
+
+func (v *Virtual) release() {
+	v.mu.Lock()
+	v.releaseLocked()
+	v.mu.Unlock()
+}
+
+// beginWait releases the caller's token and, when timeout > 0, schedules
+// a credited deadline for it.  Pair with cancelWait/consumeCredit.
+func (v *Virtual) beginWait(timeout time.Duration) *event {
+	v.mu.Lock()
+	var ev *event
+	if timeout > 0 {
+		ev = v.scheduleLocked(timeout, true)
+		ev.ch = make(chan struct{})
+	}
+	v.releaseLocked()
+	v.mu.Unlock()
+	return ev
+}
+
+// cancelWait retires an unused wait deadline after the waiter was woken
+// by a credited value instead: a still-pending event is removed; one
+// that fired concurrently already issued its credit, which is returned.
+func (v *Virtual) cancelWait(ev *event) {
+	v.mu.Lock()
+	if ev.fired {
+		v.active-- // the value's credit keeps us; return the timer's
+		if v.active <= 0 {
+			panic("vtime: credit underflow cancelling a fired wait")
+		}
+	} else {
+		v.removeLocked(ev)
+	}
+	v.mu.Unlock()
+}
+
+// consumeCredit absorbs the credit attached to a value received by an
+// actor that already holds its token (TryRecv, or a value draining
+// after a timeout fired).
+func (v *Virtual) consumeCredit() {
+	v.mu.Lock()
+	v.active--
+	if v.active <= 0 {
+		panic("vtime: credit underflow absorbing a delivered value")
+	}
+	v.mu.Unlock()
+}
+
+// ---- credited channel helpers ----
+
+// WaitRecv receives from ch, parking the calling actor idly so virtual
+// time can advance.  timeout <= 0 waits indefinitely.  The sender must
+// use NotifySend (the value carries the waker's credit).  When both the
+// timeout and a value are ready the value wins.  Under the real clock
+// this is a plain receive with a stoppable timer.
+func WaitRecv[T any](c Clock, ch <-chan T, timeout time.Duration) (T, bool) {
+	var zero T
+	v, ok := c.(*Virtual)
+	if !ok {
+		if timeout <= 0 {
+			return <-ch, true
+		}
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		select {
+		case val := <-ch:
+			return val, true
+		case <-t.C:
+			select {
+			case val := <-ch:
+				return val, true
+			default:
+			}
+			return zero, false
+		}
+	}
+	ev := v.beginWait(timeout)
+	if ev == nil {
+		return <-ch, true
+	}
+	select {
+	case val := <-ch:
+		v.cancelWait(ev)
+		return val, true
+	case <-ev.ch:
+		select {
+		case val := <-ch:
+			v.consumeCredit() // timer credit keeps us; absorb the value's
+			return val, true
+		default:
+		}
+		return zero, false
+	}
+}
+
+// TryRecv performs a non-blocking receive, absorbing the credit a
+// NotifySend attached to the value (the caller already holds its own
+// token).  Use it to drain a credited channel after a timed-out wait.
+func TryRecv[T any](c Clock, ch <-chan T) (T, bool) {
+	var zero T
+	if v, ok := c.(*Virtual); ok {
+		v.mu.Lock()
+		select {
+		case val := <-ch:
+			v.active--
+			if v.active <= 0 {
+				panic("vtime: credit underflow in TryRecv")
+			}
+			v.mu.Unlock()
+			return val, true
+		default:
+			v.mu.Unlock()
+			return zero, false
+		}
+	}
+	select {
+	case val := <-ch:
+		return val, true
+	default:
+		return zero, false
+	}
+}
+
+// NotifySend performs a non-blocking send that, under the virtual
+// clock, attaches one activity credit to the delivered value - the
+// token the parked receiver resumes with.  A full channel sends nothing
+// and credits nothing, so credits cannot leak; size channels so a lost
+// notification is harmless (cap-1 wake channels, cap-1 reply channels).
+func NotifySend[T any](c Clock, ch chan<- T, val T) bool {
+	if v, ok := c.(*Virtual); ok {
+		v.mu.Lock()
+		select {
+		case ch <- val:
+			v.active++
+			v.mu.Unlock()
+			return true
+		default:
+			v.mu.Unlock()
+			return false
+		}
+	}
+	select {
+	case ch <- val:
+		return true
+	default:
+		return false
+	}
+}
+
+// ---- join primitives ----
+
+// Group is a clock-aware sync.WaitGroup: under the virtual clock the
+// waiter parks idly and the last worker hands it its token directly, so
+// the join is deterministic in virtual time.  One waiter at a time.
+type Group struct {
+	c  Clock
+	v  *Virtual // nil under the real clock
+	wg sync.WaitGroup
+
+	// virtual state, guarded by v.mu
+	n      int
+	waitCh chan struct{}
+}
+
+// NewGroup creates a join group on the clock.
+func NewGroup(c Clock) *Group {
+	g := &Group{c: c}
+	g.v, _ = c.(*Virtual)
+	return g
+}
+
+// Go runs fn as a member of the group (a registered actor under the
+// virtual clock).
+func (g *Group) Go(fn func()) {
+	if g.v == nil {
+		g.wg.Add(1)
+		go func() {
+			defer g.wg.Done()
+			fn()
+		}()
+		return
+	}
+	v := g.v
+	v.mu.Lock()
+	g.n++
+	v.active++
+	v.mu.Unlock()
+	go func() {
+		defer g.done()
+		fn()
+	}()
+}
+
+func (g *Group) done() {
+	v := g.v
+	v.mu.Lock()
+	g.n--
+	if g.n == 0 && g.waitCh != nil {
+		// Hand this worker's token straight to the joiner: no release,
+		// no window where the clock could advance between the last
+		// worker finishing and the waiter resuming.
+		ch := g.waitCh
+		g.waitCh = nil
+		close(ch)
+		v.mu.Unlock()
+		return
+	}
+	v.releaseLocked()
+	v.mu.Unlock()
+}
+
+// Wait parks until every member launched so far has returned.
+func (g *Group) Wait() {
+	if g.v == nil {
+		g.wg.Wait()
+		return
+	}
+	v := g.v
+	v.mu.Lock()
+	if g.n == 0 {
+		v.mu.Unlock()
+		return
+	}
+	if g.waitCh != nil {
+		v.mu.Unlock()
+		panic("vtime: Group supports one waiter at a time")
+	}
+	ch := make(chan struct{})
+	g.waitCh = ch
+	v.releaseLocked()
+	v.mu.Unlock()
+	<-ch
+}
+
+// Gate is a one-shot completion barrier: any number of actors Wait, one
+// actor Releases.  The releaser (which must be busy, i.e. hold its
+// token) credits every parked waiter.
+type Gate struct {
+	c Clock
+	v *Virtual
+	// real-mode state
+	mu       sync.Mutex
+	ch       chan struct{}
+	released bool
+	waiters  int
+}
+
+// NewGate creates an unreleased gate on the clock.
+func NewGate(c Clock) *Gate {
+	g := &Gate{c: c, ch: make(chan struct{})}
+	g.v, _ = c.(*Virtual)
+	return g
+}
+
+// Release opens the gate, waking every waiter.  Idempotent.
+func (g *Gate) Release() {
+	if g.v != nil {
+		g.v.mu.Lock()
+		if !g.released {
+			g.released = true
+			g.v.active += g.waiters
+			close(g.ch)
+		}
+		g.v.mu.Unlock()
+		return
+	}
+	g.mu.Lock()
+	if !g.released {
+		g.released = true
+		close(g.ch)
+	}
+	g.mu.Unlock()
+}
+
+// Wait parks until the gate is released (returning immediately if it
+// already was).
+func (g *Gate) Wait() {
+	if g.v != nil {
+		g.v.mu.Lock()
+		if g.released {
+			g.v.mu.Unlock()
+			return
+		}
+		g.waiters++
+		g.v.releaseLocked()
+		g.v.mu.Unlock()
+		<-g.ch
+		return
+	}
+	<-g.ch
+}
+
+// Mutex is a clock-aware mutual-exclusion lock for critical sections
+// that may park inside (e.g. a log store holding its lock across a
+// forced disk write).  A plain sync.Mutex there would freeze virtual
+// time: a contender blocks while still holding its activity token, so
+// the clock never reaches quiescence and the holder's wake deadline
+// never fires.  Mutex parks contenders idly instead, and Unlock hands
+// the lock (and a token) straight to the head waiter.
+//
+// The zero value is a real-mode mutex; call SetClock before first use
+// to bind it to a virtual clock.
+type Mutex struct {
+	v *Virtual   // nil => real mode
+	m sync.Mutex // real mode
+
+	// virtual state, guarded by v.mu
+	locked bool
+	q      []chan struct{}
+}
+
+// SetClock binds the mutex to a clock.  Must be called before the mutex
+// sees contention.
+func (mu *Mutex) SetClock(c Clock) {
+	mu.v, _ = c.(*Virtual)
+}
+
+// Lock acquires the mutex, parking idly under the virtual clock.
+func (mu *Mutex) Lock() {
+	if mu.v == nil {
+		mu.m.Lock()
+		return
+	}
+	v := mu.v
+	v.mu.Lock()
+	if !mu.locked {
+		mu.locked = true
+		v.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{})
+	mu.q = append(mu.q, ch)
+	v.releaseLocked()
+	v.mu.Unlock()
+	<-ch // ownership and a token arrive together
+}
+
+// Unlock releases the mutex, transferring it to the head waiter if any.
+func (mu *Mutex) Unlock() {
+	if mu.v == nil {
+		mu.m.Unlock()
+		return
+	}
+	v := mu.v
+	v.mu.Lock()
+	if !mu.locked {
+		v.mu.Unlock()
+		panic("vtime: Unlock of unlocked Mutex")
+	}
+	if len(mu.q) > 0 {
+		ch := mu.q[0]
+		mu.q = mu.q[1:]
+		v.active++ // the waiter's resume token
+		close(ch)
+	} else {
+		mu.locked = false
+	}
+	v.mu.Unlock()
+}
+
+// Semaphore bounds concurrency like a buffered-channel semaphore, but
+// parks virtual-clock acquirers idly and transfers the slot (and a
+// token) directly from Release to the head waiter.
+type Semaphore struct {
+	c     Clock
+	v     *Virtual
+	slots chan struct{} // real mode
+	// virtual state, guarded by v.mu
+	capacity int
+	inUse    int
+	queue    []chan struct{}
+}
+
+// NewSemaphore creates a semaphore with n slots.
+func NewSemaphore(c Clock, n int) *Semaphore {
+	s := &Semaphore{c: c, capacity: n}
+	if s.v, _ = c.(*Virtual); s.v == nil {
+		s.slots = make(chan struct{}, n)
+	}
+	return s
+}
+
+// Acquire takes a slot, parking until one frees.
+func (s *Semaphore) Acquire() {
+	if s.v == nil {
+		s.slots <- struct{}{}
+		return
+	}
+	v := s.v
+	v.mu.Lock()
+	if s.inUse < s.capacity {
+		s.inUse++
+		v.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{})
+	s.queue = append(s.queue, ch)
+	v.releaseLocked()
+	v.mu.Unlock()
+	<-ch
+}
+
+// Release frees a slot, handing it (with a token) to the head waiter if
+// any.
+func (s *Semaphore) Release() {
+	if s.v == nil {
+		<-s.slots
+		return
+	}
+	v := s.v
+	v.mu.Lock()
+	if len(s.queue) > 0 {
+		ch := s.queue[0]
+		s.queue = s.queue[1:]
+		v.active++ // slot transfers in-use; waiter gets the releaser's spare credit
+		close(ch)
+	} else {
+		s.inUse--
+	}
+	v.mu.Unlock()
+}

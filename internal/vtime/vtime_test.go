@@ -1,0 +1,313 @@
+package vtime
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestVirtualSleepAdvances proves time jumps to the earliest deadline at
+// quiescence instead of waiting on the wall clock.
+func TestVirtualSleepAdvances(t *testing.T) {
+	v := NewVirtual()
+	wall := time.Now()
+	v.Sleep(10 * time.Hour)
+	if elapsed := time.Since(wall); elapsed > time.Second {
+		t.Fatalf("virtual sleep took %v wall-clock", elapsed)
+	}
+	if got := v.Elapsed(); got != 10*time.Hour {
+		t.Fatalf("Elapsed = %v, want 10h", got)
+	}
+}
+
+// TestVirtualOrdering checks that sleepers wake in deadline order and
+// observe monotonically advancing virtual time.
+func TestVirtualOrdering(t *testing.T) {
+	v := NewVirtual()
+	var order []time.Duration
+	var mu atomic.Int64
+	g := NewGroup(v)
+	for _, d := range []time.Duration{30 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond} {
+		d := d
+		g.Go(func() {
+			v.Sleep(d)
+			for !mu.CompareAndSwap(0, 1) {
+			}
+			order = append(order, v.Elapsed())
+			mu.Store(0)
+		})
+	}
+	g.Wait()
+	if len(order) != 3 {
+		t.Fatalf("got %d wakeups", len(order))
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("wakeups out of order: %v", order)
+		}
+	}
+	if v.Elapsed() != 30*time.Millisecond {
+		t.Fatalf("Elapsed = %v, want 30ms", v.Elapsed())
+	}
+}
+
+// TestVirtualSameDeadline fires every event at one instant together.
+func TestVirtualSameDeadline(t *testing.T) {
+	v := NewVirtual()
+	var n atomic.Int32
+	g := NewGroup(v)
+	for i := 0; i < 5; i++ {
+		g.Go(func() {
+			v.Sleep(time.Millisecond)
+			n.Add(1)
+		})
+	}
+	g.Wait()
+	if n.Load() != 5 || v.Elapsed() != time.Millisecond {
+		t.Fatalf("n=%d elapsed=%v", n.Load(), v.Elapsed())
+	}
+}
+
+// TestWaitRecvValue: a credited send wakes the waiter before its
+// timeout, and the timeout event is retired without leaking credit.
+func TestWaitRecvValue(t *testing.T) {
+	v := NewVirtual()
+	ch := make(chan int, 1)
+	v.Go(func() {
+		v.Sleep(5 * time.Millisecond)
+		NotifySend[int](v, ch, 42)
+	})
+	val, ok := WaitRecv[int](v, ch, time.Hour)
+	if !ok || val != 42 {
+		t.Fatalf("got (%d,%v)", val, ok)
+	}
+	if v.Elapsed() != 5*time.Millisecond {
+		t.Fatalf("elapsed %v", v.Elapsed())
+	}
+	// the clock must still be able to advance (no leaked credits)
+	v.Sleep(time.Millisecond)
+}
+
+// TestWaitRecvTimeout: with no sender, the wait expires at exactly the
+// virtual deadline.
+func TestWaitRecvTimeout(t *testing.T) {
+	v := NewVirtual()
+	ch := make(chan int, 1)
+	_, ok := WaitRecv[int](v, ch, 7*time.Millisecond)
+	if ok {
+		t.Fatal("unexpected value")
+	}
+	if v.Elapsed() != 7*time.Millisecond {
+		t.Fatalf("elapsed %v", v.Elapsed())
+	}
+	v.Sleep(time.Millisecond)
+}
+
+// TestWaitRecvRace: a value that lands at the same instant the timeout
+// fires is still delivered, and its credit absorbed.
+func TestWaitRecvRace(t *testing.T) {
+	v := NewVirtual()
+	ch := make(chan int, 1)
+	v.Go(func() {
+		v.Sleep(3 * time.Millisecond)
+		NotifySend[int](v, ch, 7)
+	})
+	val, ok := WaitRecv[int](v, ch, 3*time.Millisecond)
+	if ok && val != 7 {
+		t.Fatalf("bad value %d", val)
+	}
+	if !ok {
+		// timeout won the select: the raced value must be drainable
+		if got, ok2 := TryRecv[int](v, ch); !ok2 || got != 7 {
+			t.Fatalf("lost raced value (%d,%v)", got, ok2)
+		}
+	}
+	v.Sleep(time.Millisecond)
+}
+
+// TestNotifySendFull: a full channel accepts nothing and credits nothing.
+func TestNotifySendFull(t *testing.T) {
+	v := NewVirtual()
+	ch := make(chan int, 1)
+	if !NotifySend[int](v, ch, 1) {
+		t.Fatal("first send failed")
+	}
+	if NotifySend[int](v, ch, 2) {
+		t.Fatal("second send accepted on full channel")
+	}
+	if got, ok := TryRecv[int](v, ch); !ok || got != 1 {
+		t.Fatalf("drain got (%d,%v)", got, ok)
+	}
+	v.Sleep(time.Millisecond)
+}
+
+// TestTimerFiresDuringSleep: an uncredited timer stamps its own earlier
+// deadline while another actor's sleep drives the clock past it.
+func TestTimerFiresDuringSleep(t *testing.T) {
+	v := NewVirtual()
+	tm := v.NewTimer(5 * time.Millisecond)
+	v.Sleep(10 * time.Millisecond)
+	select {
+	case ts := <-tm.C():
+		if got := ts.Sub(virtualEpoch); got != 5*time.Millisecond {
+			t.Fatalf("timer stamped %v", got)
+		}
+	default:
+		t.Fatal("timer did not fire")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop reported pending after fire")
+	}
+}
+
+// TestTimerStop removes a pending timer so it never fires.
+func TestTimerStop(t *testing.T) {
+	v := NewVirtual()
+	tm := v.NewTimer(5 * time.Millisecond)
+	if !tm.Stop() {
+		t.Fatal("Stop reported not pending")
+	}
+	v.Sleep(10 * time.Millisecond)
+	select {
+	case <-tm.C():
+		t.Fatal("stopped timer fired")
+	default:
+	}
+}
+
+// TestGateMultipleWaiters: several actors join one completion.
+func TestGateMultipleWaiters(t *testing.T) {
+	v := NewVirtual()
+	gate := NewGate(v)
+	var woke atomic.Int32
+	g := NewGroup(v)
+	for i := 0; i < 3; i++ {
+		g.Go(func() {
+			gate.Wait()
+			woke.Add(1)
+		})
+	}
+	v.Go(func() {
+		v.Sleep(2 * time.Millisecond)
+		gate.Release()
+	})
+	g.Wait()
+	if woke.Load() != 3 {
+		t.Fatalf("woke %d", woke.Load())
+	}
+	gate.Wait() // released gate returns immediately
+	v.Sleep(time.Millisecond)
+}
+
+// TestSemaphoreBounds: capacity 2, four workers; the clock keeps
+// advancing while waiters park.
+func TestSemaphoreBounds(t *testing.T) {
+	v := NewVirtual()
+	sem := NewSemaphore(v, 2)
+	var inside, peak atomic.Int32
+	g := NewGroup(v)
+	for i := 0; i < 4; i++ {
+		sem.Acquire()
+		g.Go(func() {
+			defer sem.Release()
+			cur := inside.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			v.Sleep(time.Millisecond)
+			inside.Add(-1)
+		})
+	}
+	g.Wait()
+	if peak.Load() > 2 {
+		t.Fatalf("peak concurrency %d exceeds semaphore", peak.Load())
+	}
+}
+
+// TestGroupTokenTransfer: the joiner resumes at the exact virtual instant
+// the last worker finishes.
+func TestGroupTokenTransfer(t *testing.T) {
+	v := NewVirtual()
+	g := NewGroup(v)
+	g.Go(func() { v.Sleep(4 * time.Millisecond) })
+	g.Go(func() { v.Sleep(9 * time.Millisecond) })
+	g.Wait()
+	if v.Elapsed() != 9*time.Millisecond {
+		t.Fatalf("elapsed %v", v.Elapsed())
+	}
+}
+
+// TestMutexParksContenders: a holder parked inside its critical section
+// does not stall the clock when others contend for the lock.
+func TestMutexParksContenders(t *testing.T) {
+	v := NewVirtual()
+	var mu Mutex
+	mu.SetClock(v)
+	var order []time.Duration
+	g := NewGroup(v)
+	for i := 0; i < 3; i++ {
+		g.Go(func() {
+			mu.Lock()
+			v.Sleep(2 * time.Millisecond) // park while holding the lock
+			order = append(order, v.Elapsed())
+			mu.Unlock()
+		})
+	}
+	g.Wait()
+	if len(order) != 3 || v.Elapsed() != 6*time.Millisecond {
+		t.Fatalf("order=%v elapsed=%v", order, v.Elapsed())
+	}
+}
+
+// TestRealClockBasics sanity-checks the passthrough implementation.
+func TestRealClockBasics(t *testing.T) {
+	c := Real()
+	if c.Now().IsZero() {
+		t.Fatal("zero Now")
+	}
+	tm := c.NewTimer(time.Hour)
+	if !tm.Stop() {
+		t.Fatal("Stop on pending real timer")
+	}
+	ch := make(chan int, 1)
+	NotifySend[int](c, ch, 3)
+	if got, ok := WaitRecv[int](c, ch, time.Second); !ok || got != 3 {
+		t.Fatalf("real WaitRecv (%d,%v)", got, ok)
+	}
+	if _, ok := WaitRecv[int](c, ch, time.Millisecond); ok {
+		t.Fatal("real WaitRecv should time out")
+	}
+	g := NewGroup(c)
+	var n atomic.Int32
+	g.Go(func() { n.Add(1) })
+	g.Wait()
+	if n.Load() != 1 {
+		t.Fatal("real group")
+	}
+}
+
+// TestVirtualDeterminism: the same actor program yields the same
+// simulated duration on repeated runs.
+func TestVirtualDeterminism(t *testing.T) {
+	run := func() time.Duration {
+		v := NewVirtual()
+		g := NewGroup(v)
+		for i := 1; i <= 8; i++ {
+			d := time.Duration(i) * time.Millisecond
+			g.Go(func() {
+				for j := 0; j < 5; j++ {
+					v.Sleep(d)
+				}
+			})
+		}
+		g.Wait()
+		return v.Elapsed()
+	}
+	a, b := run(), run()
+	if a != b || a != 40*time.Millisecond {
+		t.Fatalf("runs differ: %v vs %v", a, b)
+	}
+}

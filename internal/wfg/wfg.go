@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/lockmgr"
 	"repro/internal/trace"
+	"repro/internal/vtime"
 )
 
 // Graph is a wait-for graph over lock groups.
@@ -217,10 +218,20 @@ type Detector struct {
 	// DeadlockVictim events (one per cycle member, the victim first),
 	// closing the loop between detection and trace forensics.
 	Tracer *trace.Tracer
+	// Clock paces the scan interval.  Nil means the real-time clock.
+	// Set before Start.
+	Clock vtime.Clock
 
-	mu      sync.Mutex
-	stopped chan struct{}
-	done    chan struct{} // closed by the scan goroutine on exit
+	// Stop wakes the scan goroutine with a credited send only while it
+	// is parked on stop (waiting); when the goroutine is busy inside
+	// Step the stopping flag alone is set and the loop notices it after
+	// the scan.  A credited token aimed at a busy loop would strand in
+	// the channel and, under a virtual clock, freeze simulated time.
+	mu       sync.Mutex
+	stopping bool
+	waiting  bool
+	stop     chan struct{} // cap 1; one token stops the scan goroutine
+	exit     *vtime.Gate   // released by the scan goroutine on exit
 }
 
 // Step performs one detection scan and returns the victims (after
@@ -259,46 +270,68 @@ func (d *Detector) Step() []string {
 
 // Start runs Step every interval until Stop is called.
 func (d *Detector) Start(interval time.Duration) {
+	clk := d.Clock
+	if clk == nil {
+		clk = vtime.Real()
+	}
 	d.mu.Lock()
-	if d.stopped != nil {
+	if d.stop != nil {
 		d.mu.Unlock()
 		return
 	}
-	stop := make(chan struct{})
-	done := make(chan struct{})
-	d.stopped = stop
-	d.done = done
+	stop := make(chan struct{}, 1)
+	exit := vtime.NewGate(clk)
+	d.stop = stop
+	d.exit = exit
+	d.stopping = false
 	d.mu.Unlock()
-	go func() {
-		defer close(done)
-		t := time.NewTicker(interval)
-		defer t.Stop()
+	clk.Go(func() {
+		defer exit.Release()
 		for {
-			select {
-			case <-stop:
+			d.mu.Lock()
+			if d.stopping {
+				d.mu.Unlock()
 				return
-			case <-t.C:
-				select {
-				case <-stop:
-					return // stopped while the tick was pending
-				default:
-				}
-				d.Step()
 			}
+			d.waiting = true
+			d.mu.Unlock()
+			_, woken := vtime.WaitRecv[struct{}](clk, stop, interval)
+			d.mu.Lock()
+			d.waiting = false
+			stopping := d.stopping
+			d.mu.Unlock()
+			if !woken {
+				// Stop may have raced the timeout; absorb its token.
+				_, woken = vtime.TryRecv[struct{}](clk, stop)
+			}
+			if woken || stopping {
+				return
+			}
+			d.Step()
 		}
-	}()
+	})
 }
 
 // Stop halts a running detector and waits for its scan goroutine to
 // exit, so no Step runs after Stop returns.  Safe to call when not
 // started.
 func (d *Detector) Stop() {
+	clk := d.Clock
+	if clk == nil {
+		clk = vtime.Real()
+	}
 	d.mu.Lock()
-	stopped, done := d.stopped, d.done
-	d.stopped, d.done = nil, nil
+	stop, exit := d.stop, d.exit
+	d.stop, d.exit = nil, nil
+	if stop != nil {
+		d.stopping = true
+		if d.waiting {
+			d.waiting = false
+			vtime.NotifySend(clk, stop, struct{}{})
+		}
+	}
 	d.mu.Unlock()
-	if stopped != nil {
-		close(stopped)
-		<-done
+	if exit != nil {
+		exit.Wait()
 	}
 }
