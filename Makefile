@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test race bench chaos vtime probe trace experiments examples tools clean
+.PHONY: all test race bench chaos vtime telemetry probe trace experiments examples tools clean
 
 all: test
 
@@ -23,6 +23,11 @@ vtime:           ## 100-seed virtual-clock chaos sweep + vtime bench (DESIGN.md 
 	$(GO) run ./cmd/locuschaos -vtime -sweep 100 -duration 2s
 	$(GO) run ./cmd/locuschaos -vtime -sweep 100 -duration 2s -groupcommit 5ms -fastpaths
 	$(GO) run ./cmd/locusbench -concurrent -vtime
+
+telemetry:       ## utilization + critical-path report, then verify the golden snapshot
+	$(GO) run ./cmd/locusmon -clients 4 -txns 8
+	$(GO) run ./cmd/locusbench -vtime -telemetry -clients 1 -txns 8 -json tele-now.json
+	diff TELEMETRY_GOLDEN.json tele-now.json && rm tele-now.json
 
 probe:           ## exhaustive crash-point matrix (DESIGN.md section 9), race-enabled
 	$(GO) run -race ./cmd/locusprobe -forensics probe-forensics.txt

@@ -43,6 +43,8 @@ var (
 	mixedTxns = flag.Int("mixedtxns", 50, "transactions per configuration for the mixed experiment")
 	jsonPath  = flag.String("json", "", "write a machine-readable benchmark snapshot (stable schema) to this path")
 	vtimeF    = flag.Bool("vtime", false, "run the concurrent experiment on the virtual discrete-event clock with the cost model's disk latency: latencies and throughput are reported in simulated time, wall-clock shrinks by orders of magnitude")
+	telemF    = flag.Bool("telemetry", false, "run the concurrent pair with the metrics registry, utilization sampler and commit critical-path profiler attached; prints the attribution summary (with -json, writes the canonical locusbench-telemetry/v1 document instead of the classic snapshot)")
+	interval  = flag.Duration("interval", 100*time.Millisecond, "telemetry sampler period (simulated time under -vtime)")
 )
 
 // mixedShares returns the read shares the mixed experiment sweeps,
@@ -65,6 +67,13 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown model %q (want vax750 or modern)"+"\n", *model)
 		os.Exit(2)
+	}
+	if *telemF {
+		if err := telemetryCmd(); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *jsonPath != "" {
 		if err := writeSnapshot(*jsonPath); err != nil {
@@ -497,6 +506,73 @@ func concurrent() error {
 		fmt.Println("Figure 5 I/O tables reproduce unchanged (batching only merges sync forces)")
 	}
 	return nil
+}
+
+// telemetryCmd runs the concurrent pair with the registry, sampler and
+// profiler attached.  Without -json it prints the human attribution and
+// utilization summary; with -json it writes the canonical
+// locusbench-telemetry/v1 document (fixed field order, sorted keys) -
+// the artifact the CI golden-snapshot job diffs byte-for-byte.
+func telemetryCmd() error {
+	rows, err := telemetryPair()
+	if err != nil {
+		return err
+	}
+	if *jsonPath != "" {
+		var buf []byte
+		buf = append(buf, '[', '\n')
+		for i, r := range rows {
+			if i > 0 {
+				buf = append(buf, ',', '\n')
+			}
+			buf = append(buf, r.TelemetryJSON()...)
+		}
+		buf = append(buf, '\n', ']', '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *jsonPath)
+		return nil
+	}
+	for _, r := range rows {
+		fmt.Printf("\n## Telemetry: %s (%d clients x %d txns)\n\n", r.Case, r.Clients, r.TxnsPerCl)
+		fmt.Printf("committed %d, aborted %d", r.Committed, r.Aborted)
+		if r.SimTime > 0 {
+			fmt.Printf(", %s simulated", r.SimTime.Round(time.Millisecond))
+			if busy := r.Metrics.Counters["disk_busy_ns"]; busy > 0 && r.SimTotal > 0 {
+				fmt.Printf(", spindle %.1f%% busy", 100*float64(busy)/float64(r.SimTotal.Nanoseconds()))
+			}
+		}
+		fmt.Printf("; %d samples at %s\n", len(r.Samples), *interval)
+		fmt.Print(r.Profile.Summary())
+	}
+	return nil
+}
+
+// telemetryPair is ConcurrentCommitPair(-Vtime) with telemetry attached:
+// group commit off then on, virtual clock and cost-model latencies when
+// -vtime is set.
+func telemetryPair() ([]bench.ConcurrentRow, error) {
+	var rows []bench.ConcurrentRow
+	for _, gc := range []bool{false, true} {
+		o := bench.ConcurrentOpts{
+			Clients: *clients, TxnsPerClient: *txnsPerCl,
+			GroupCommit:    gc,
+			Telemetry:      true,
+			SampleInterval: *interval,
+		}
+		if *vtimeF {
+			o.DiskSyncDelay = bench.Vax.DiskWriteTime
+			o.GroupCommitDelay = bench.Vax.DiskWriteTime
+			o.Vtime = true
+		}
+		r, err := bench.ConcurrentCommitOpts(o)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
 }
 
 // mixed prints the commit fast-path table (experiment E17): the mixed

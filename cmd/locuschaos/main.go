@@ -46,6 +46,7 @@ var (
 	groupc   = flag.Duration("groupcommit", 0, "enable the group-commit log daemon with this max batching delay (0 = synchronous log forces)")
 	fastp    = flag.Bool("fastpaths", false, "enable the commit fast paths (read-only votes, one-phase commit) and mix read-only audit transactions into the workload")
 	vtimeF   = flag.Bool("vtime", false, "run on the virtual discrete-event clock with VAX-750 latencies: -duration counts simulated time and wall-clock shrinks by orders of magnitude")
+	telemF   = flag.Bool("telemetry", false, "enable commit-path profiling and append the attribution/utilization summary to the report (nondeterministic, like -stats)")
 	forens   = flag.String("forensics", "", "on any invariant failure, also write the full failure reports (violations + event-trace forensics) to this file; CI uploads it as an artifact")
 )
 
@@ -75,6 +76,7 @@ func main() {
 		GroupCommit: *groupc,
 		FastPaths:   *fastp,
 		Vtime:       *vtimeF,
+		Telemetry:   *telemF,
 	}
 	if *verbose {
 		opts.Logf = func(format string, args ...any) {
@@ -106,6 +108,9 @@ func main() {
 			}
 		} else {
 			fmt.Print(res.Report(*stats))
+		}
+		if *telemF {
+			fmt.Print(res.TelemetrySummary())
 		}
 		if !res.OK() {
 			failed++

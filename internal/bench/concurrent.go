@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"sync/atomic"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/vtime"
 )
@@ -64,6 +66,23 @@ type ConcurrentRow struct {
 	// matter how fast the host ran the simulation.
 	SimTime       time.Duration
 	TxnsPerSimSec float64
+	// SimTotal is the virtual clock's total elapsed time at measurement,
+	// setup included (SimTime counts only the workload window).  It is
+	// the denominator matching cumulative registry counters like
+	// disk_busy_ns, which also count from boot.
+	SimTotal time.Duration
+	// ClientCommitted/ClientAborted are the client goroutines' own
+	// tallies.  Committed/Aborted above come from the stats registry
+	// delta; keeping both lets tests assert the two surfaces never
+	// drift.  Excluded from JSON - the registry figures are canonical.
+	ClientCommitted int64 `json:"-"`
+	ClientAborted   int64 `json:"-"`
+	// Telemetry artifacts, populated when ConcurrentOpts.Telemetry is
+	// set.  Excluded from the classic -json row (TelemetryJSON renders
+	// them canonically instead, so golden snapshots stay byte-stable).
+	Samples []telemetry.Sample       `json:"-"`
+	Profile *telemetry.ProfileReport `json:"-"`
+	Metrics telemetry.Snapshot       `json:"-"`
 }
 
 // ConcurrentOpts parameterizes ConcurrentCommitOpts beyond the classic
@@ -89,6 +108,15 @@ type ConcurrentOpts struct {
 	// Trace attaches an event collector and fills the per-phase
 	// histograms.
 	Trace bool
+	// Telemetry enables commit-path profiling and the periodic
+	// utilization sampler, filling the row's Samples/Profile/Metrics.
+	// Under Vtime the run additionally drains to full quiescence (all
+	// background phase-two and cleanup actors done) before the final
+	// measurements, so the telemetry is complete and deterministic.
+	Telemetry bool
+	// SampleInterval is the sampler period (simulated time under Vtime);
+	// zero means the sampler default.
+	SampleInterval time.Duration
 }
 
 // ConcurrentCommit runs the transfer workload once.  groupCommit toggles
@@ -161,12 +189,20 @@ func ConcurrentCommitOpts(o ConcurrentOpts) (ConcurrentRow, error) {
 		return ConcurrentRow{}, err
 	}
 
+	reg := sys.Stats().Registry()
+	var sampler *telemetry.Sampler
+	if o.Telemetry {
+		reg.EnableProfiling()
+		sampler = telemetry.NewSampler(reg, o.SampleInterval)
+	}
+
 	before := sys.Stats().Snapshot()
 	var committed, aborted atomic.Int64
 	lats := make([][]time.Duration, clients)
 	errs := make([]error, clients)
 	start := time.Now()
 	simStart := clk.Now()
+	sampler.Start(clk)
 	wg := vtime.NewGroup(clk)
 	for c := 0; c < clients; c++ {
 		c := c
@@ -222,6 +258,16 @@ func ConcurrentCommitOpts(o ConcurrentOpts) (ConcurrentRow, error) {
 		})
 	}
 	wg.Wait()
+	if o.Telemetry {
+		if v, ok := vtime.AsVirtual(clk); ok {
+			// Clients are done, but background actors (phase-two
+			// cleanup, log-record deletion, the group-commit daemon)
+			// still hold work.  Drain to quiescence so the snapshot,
+			// profile and busy fractions cover the whole run.
+			v.WaitIdle()
+		}
+	}
+	sampler.Stop()
 	wall := time.Since(start)
 	simElapsed := clk.Now().Sub(simStart)
 	for _, err := range errs {
@@ -245,26 +291,31 @@ func ConcurrentCommitOpts(o ConcurrentOpts) (ConcurrentRow, error) {
 
 	d := sys.Stats().Snapshot().Sub(before)
 	row := ConcurrentRow{
-		Case:         "group-commit off",
-		Clients:      clients,
-		TxnsPerCl:    txnsPerClient,
-		Committed:    committed.Load(),
-		Aborted:      aborted.Load(),
-		Wall:         wall,
-		P50:          pct(0.50),
-		P95:          pct(0.95),
-		P99:          pct(0.99),
-		ForcedIOs:    d.Get(stats.ForcedIOs),
-		Batches:      d.Get(stats.GroupCommitBatches),
-		BatchRecords: d.Get(stats.GroupCommitRecords),
-		DiskWrites:   d.Get(stats.DiskWrites),
-		Counters:     d,
+		Case:            "group-commit off",
+		Clients:         clients,
+		TxnsPerCl:       txnsPerClient,
+		Committed:       d.Get(stats.TxnCommits),
+		Aborted:         d.Get(stats.TxnAborts),
+		ClientCommitted: committed.Load(),
+		ClientAborted:   aborted.Load(),
+		Wall:            wall,
+		P50:             pct(0.50),
+		P95:             pct(0.95),
+		P99:             pct(0.99),
+		ForcedIOs:       d.Get(stats.ForcedIOs),
+		Batches:         d.Get(stats.GroupCommitBatches),
+		BatchRecords:    d.Get(stats.GroupCommitRecords),
+		DiskWrites:      d.Get(stats.DiskWrites),
+		Counters:        d,
 	}
 	if o.GroupCommit {
 		row.Case = "group-commit on"
 	}
 	if o.Vtime {
 		row.SimTime = simElapsed
+		if v, ok := vtime.AsVirtual(clk); ok {
+			row.SimTotal = v.Elapsed()
+		}
 	}
 	if row.Committed > 0 {
 		row.TxnsPerSec = float64(row.Committed) / wall.Seconds()
@@ -277,7 +328,41 @@ func ConcurrentCommitOpts(o ConcurrentOpts) (ConcurrentRow, error) {
 		row.PhaseTotal, row.PhasePrepare, row.PhasePhase2 =
 			trace.LatencyHistograms(trace.PhaseLatencies(col.Events()))
 	}
+	if o.Telemetry {
+		row.Samples = sampler.Samples()
+		row.Profile = reg.Profiler().Report()
+		row.Metrics = reg.Snapshot()
+	}
 	return row, nil
+}
+
+// TelemetryJSON renders the row's telemetry artifacts as one canonical
+// JSON document: fixed field order, sorted metric keys, no
+// map-iteration dependence.  Serial (1-client) virtual-clock runs
+// produce byte-identical output - the CI golden-snapshot job diffs one
+// against a checked-in copy.  Concurrent runs are deterministic in
+// aggregate (commit counts, attribution fractions, per-page I/O) but
+// same-instant scheduling ties leave batch composition and
+// per-boundary samples to the Go scheduler (DESIGN.md section 12).
+func (r ConcurrentRow) TelemetryJSON() []byte {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, `{"schema":"locusbench-telemetry/v1","case":%q,"clients":%d,"txns_per_client":%d,"committed":%d,"aborted":%d,"sim_time_ns":%d,`,
+		r.Case, r.Clients, r.TxnsPerCl, r.Committed, r.Aborted, r.SimTime.Nanoseconds())
+	fmt.Fprintf(&buf, `"sim_total_ns":%d,`, r.SimTotal.Nanoseconds())
+	buf.WriteString(`"metrics":`)
+	mb, _ := r.Metrics.MarshalJSON()
+	buf.Write(mb)
+	buf.WriteString(`,"profile":`)
+	if r.Profile != nil {
+		pb, _ := r.Profile.MarshalJSON()
+		buf.Write(pb)
+	} else {
+		buf.WriteString("null")
+	}
+	buf.WriteString(`,"samples":`)
+	buf.Write(telemetry.MarshalSamplesJSON(r.Samples))
+	buf.WriteString("}")
+	return buf.Bytes()
 }
 
 // ConcurrentCommitPair runs the workload with group commit off then on

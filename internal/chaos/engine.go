@@ -14,6 +14,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/simdisk"
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/vtime"
 )
@@ -48,6 +49,10 @@ type Options struct {
 	// interval) because a multi-hop handler at VAX speed outlasts the
 	// real-mode tunings.
 	Vtime bool
+	// Telemetry enables commit-path profiling and fills the Result's
+	// Profile and Metrics with the run's attribution report and final
+	// registry snapshot.
+	Telemetry bool
 }
 
 const (
@@ -84,6 +89,12 @@ type Result struct {
 	// SimElapsed is the total simulated time of a Vtime run (zero
 	// otherwise): workload window plus quiesce and recovery.
 	SimElapsed time.Duration
+	// Profile and Metrics carry the commit critical-path attribution and
+	// the final metrics-registry snapshot when Options.Telemetry was set
+	// (Profile nil otherwise).  Like Commits/Aborts they depend on real
+	// scheduling and stay out of the deterministic report body.
+	Profile *telemetry.ProfileReport
+	Metrics telemetry.Snapshot
 }
 
 // CheckResult is one invariant's verdict.
@@ -117,6 +128,27 @@ func (r *Result) Violations() []string {
 		}
 	}
 	return out
+}
+
+// TelemetrySummary renders the run's commit critical-path attribution
+// and headline utilization counters; empty when the run was not
+// telemetered.  Like the stats line, the figures depend on real
+// scheduling, so they stay out of the deterministic Report body.
+func (r *Result) TelemetrySummary() string {
+	if r.Profile == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString(r.Profile.Summary())
+	c := r.Metrics.Counters
+	fmt.Fprintf(&b, "spindle busy: %s  net transit: %s  deadlock scans: %d (victims %d)\n",
+		time.Duration(c["disk_busy_ns"]), time.Duration(c["net_transit_ns"]),
+		c["deadlock_scans"], c["deadlock_victims"])
+	if h, ok := r.Metrics.Histograms["group_commit_batch_size"]; ok && h.Count > 0 {
+		fmt.Fprintf(&b, "group commit: %d flushes, mean batch %.1f records\n",
+			h.Count, float64(h.Sum)/float64(h.Count))
+	}
+	return b.String()
 }
 
 // ReplayCommand is the locuschaos invocation that reproduces this run's
@@ -291,6 +323,9 @@ func Run(opts Options) (*Result, error) {
 	}
 	e.sys = core.NewSystem(cfg)
 	defer e.sys.Cluster().Shutdown()
+	if opts.Telemetry {
+		e.sys.Stats().Registry().EnableProfiling()
+	}
 	for _, id := range siteIDs {
 		e.sys.AddSite(id)
 		if err := e.sys.AddVolume(id, volName(id)); err != nil {
@@ -357,6 +392,11 @@ func Run(opts Options) (*Result, error) {
 	}
 	if v, ok := vtime.AsVirtual(e.clk); ok {
 		res.SimElapsed = v.Elapsed()
+	}
+	if opts.Telemetry {
+		reg := e.sys.Stats().Registry()
+		res.Profile = reg.Profiler().Report()
+		res.Metrics = reg.Snapshot()
 	}
 	res.Checks = e.check()
 	return res, nil

@@ -7,6 +7,7 @@ import (
 	"repro/internal/lockmgr"
 	"repro/internal/shadow"
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 	"repro/internal/tpc"
 	"repro/internal/trace"
 )
@@ -100,6 +101,12 @@ func (t *siteTransport) SendCommit(site simnet.SiteID, txid string) error {
 func (t *siteTransport) SendAbort(site simnet.SiteID, txid string) error {
 	_, err := t.s.ep.CallRetry(site, "abortTxn", abortTxnReq{Txid: txid}, 0)
 	return err
+}
+
+// prof returns the cluster's critical-path profiler; nil (profiling
+// off) makes every charge a cheap no-op.
+func (s *Site) prof() *telemetry.Profiler {
+	return s.st.Registry().Profiler()
 }
 
 // volPrep is one volume's share of a transaction's prepare payload.
@@ -201,11 +208,17 @@ func (s *Site) prepareRecordCount(byVol map[string]*volPrep, volNames []string) 
 // and lock lists, one record per volume - or per file under the
 // footnote-10 option), and remember the prepared state.
 func (s *Site) handlePrepare(req prepareReq) error {
+	clk := s.cl.cfg.Clock
+	t0 := clk.Now()
 	byVol, volNames, _, err := s.gatherPrepare(req)
+	s.prof().Charge(req.Txid, telemetry.ResDataFlush, clk.Now().Sub(t0))
 	if err != nil {
 		return err
 	}
-	if err := s.writePrepareRecords(req, byVol, volNames, 0); err != nil {
+	t0 = clk.Now()
+	err = s.writePrepareRecords(req, byVol, volNames, 0)
+	s.prof().Charge(req.Txid, telemetry.ResPrepareForce, clk.Now().Sub(t0))
+	if err != nil {
 		return err
 	}
 	s.mu.Lock()
@@ -234,7 +247,10 @@ func (s *Site) readOnlyHere(txid string, hasMods bool) bool {
 // phase two to deliver here - and the coordinator drops the site from
 // the outcome distribution.
 func (s *Site) handlePrepareVote(req prepareReq) (tpc.Vote, error) {
+	clk := s.cl.cfg.Clock
+	t0 := clk.Now()
 	byVol, volNames, hasMods, err := s.gatherPrepare(req)
+	s.prof().Charge(req.Txid, telemetry.ResDataFlush, clk.Now().Sub(t0))
 	if err != nil {
 		return tpc.VoteCommit, err
 	}
@@ -246,7 +262,10 @@ func (s *Site) handlePrepareVote(req prepareReq) (tpc.Vote, error) {
 		}
 		return tpc.VoteReadOnly, nil
 	}
-	if err := s.writePrepareRecords(req, byVol, volNames, 0); err != nil {
+	t0 = clk.Now()
+	err = s.writePrepareRecords(req, byVol, volNames, 0)
+	s.prof().Charge(req.Txid, telemetry.ResPrepareForce, clk.Now().Sub(t0))
+	if err != nil {
 		return tpc.VoteCommit, err
 	}
 	s.mu.Lock()
@@ -263,7 +282,10 @@ func (s *Site) handlePrepareVote(req prepareReq) (tpc.Vote, error) {
 // complete set survived.  After the force the outcome is applied and
 // cleaned up exactly as a phase-two commit would be.
 func (s *Site) handlePrepareCommit(req prepareReq) (tpc.Vote, error) {
+	clk := s.cl.cfg.Clock
+	t0 := clk.Now()
 	byVol, volNames, hasMods, err := s.gatherPrepare(req)
+	s.prof().Charge(req.Txid, telemetry.ResDataFlush, clk.Now().Sub(t0))
 	if err != nil {
 		return tpc.VoteCommit, err
 	}
@@ -287,7 +309,10 @@ func (s *Site) handlePrepareCommit(req prepareReq) (tpc.Vote, error) {
 	s.prepared[req.Txid] = pt
 	s.mu.Unlock()
 	total := s.prepareRecordCount(byVol, volNames)
-	if err := s.writePrepareRecords(req, byVol, volNames, total); err != nil {
+	t0 = clk.Now()
+	err = s.writePrepareRecords(req, byVol, volNames, total)
+	s.prof().Charge(req.Txid, telemetry.ResPrepareForce, clk.Now().Sub(t0))
+	if err != nil {
 		// Before the commit point: scrub any partial record set (best
 		// effort - a torn set self-resolves to abort by count) and
 		// refuse, which the coordinator turns into an abort.
@@ -303,6 +328,7 @@ func (s *Site) handlePrepareCommit(req prepareReq) (tpc.Vote, error) {
 	// Commit point passed.  Apply and clean up; a failure here leaves
 	// the entry (no longer applying) so recovery or a later resolution
 	// pass re-drives the commit - the outcome can no longer be abort.
+	applyT0 := clk.Now()
 	owner := TxnOwner(req.Txid)
 	fail := func(err error) (tpc.Vote, error) {
 		s.mu.Lock()
@@ -324,6 +350,7 @@ func (s *Site) handlePrepareCommit(req prepareReq) (tpc.Vote, error) {
 	if err := s.finishTxn(req.Txid, pt.fileIDs); err != nil {
 		return fail(err)
 	}
+	s.prof().Charge(req.Txid, telemetry.ResOnePhaseApply, clk.Now().Sub(applyT0))
 	s.mu.Lock()
 	delete(s.prepared, req.Txid)
 	s.mu.Unlock()
@@ -337,6 +364,13 @@ func (s *Site) handlePrepareCommit(req prepareReq) (tpc.Vote, error) {
 // harmless: an unknown transaction acknowledges silently (its work is
 // already done), per section 4.4.
 func (s *Site) handleCommit2(req commit2Req) error {
+	clk := s.cl.cfg.Clock
+	t0 := clk.Now()
+	defer func() {
+		// Participant phase-two work; the coordinator's attribution only
+		// counts it toward latency when phase two ran synchronously.
+		s.prof().Charge(req.Txid, telemetry.ResPhase2Apply, clk.Now().Sub(t0))
+	}()
 	s.mu.Lock()
 	pt, ok := s.prepared[req.Txid]
 	if ok {

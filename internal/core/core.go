@@ -35,6 +35,7 @@ import (
 	"repro/internal/proc"
 	"repro/internal/simnet"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/wfg"
 )
@@ -120,6 +121,12 @@ func (sys *System) Cluster() *cluster.Cluster { return sys.cl }
 // Stats returns the system-wide counters.
 func (sys *System) Stats() *stats.Set { return sys.cl.Stats() }
 
+// prof returns the cluster's critical-path profiler; nil (profiling
+// off) makes every lifecycle stamp a cheap no-op.
+func (sys *System) prof() *telemetry.Profiler {
+	return sys.Stats().Registry().Profiler()
+}
+
 // AddSite creates a site.
 func (sys *System) AddSite(id simnet.SiteID) { sys.cl.AddSite(id) }
 
@@ -188,6 +195,7 @@ func (sys *System) abortTxn(ts *txnState) {
 		origin.Tracer().Record(trace.TxnAbort, ts.txid, "", 0)
 	}
 	sys.Stats().Inc(stats.TxnAborts)
+	sys.prof().TxnEnd(ts.txid, sys.cl.Clock().Now(), false)
 
 	sys.mu.Lock()
 	delete(sys.active, ts.txid)
@@ -237,6 +245,7 @@ func (sys *System) StartDeadlockDetector(interval time.Duration) {
 		Policy:  wfg.VictimYoungest,
 		Tracer:  sys.detectorTracer(),
 		Clock:   sys.cl.Clock(),
+		Stats:   sys.Stats(),
 		OnVictim: func(group string, cycle []string) {
 			const p = "txn:"
 			if len(group) > len(p) && group[:len(p)] == p {
@@ -269,6 +278,7 @@ func (sys *System) DetectDeadlocksOnce() []string {
 		Collect: sys.cl.WaitEdges,
 		Policy:  wfg.VictimYoungest,
 		Tracer:  sys.detectorTracer(),
+		Stats:   sys.Stats(),
 		OnVictim: func(group string, cycle []string) {
 			const p = "txn:"
 			if len(group) > len(p) && group[:len(p)] == p {
@@ -349,6 +359,7 @@ func (p *Process) BeginTrans() (int, error) {
 		sites: map[simnet.SiteID]bool{p.site: true},
 	}
 	p.sys.mu.Unlock()
+	p.sys.prof().TxnBegin(txid, p.sys.cl.Clock().Now())
 	p.kernel().Tracer().Record(trace.TxnBegin, txid, "", int64(p.pid))
 	return n, nil
 }
@@ -398,6 +409,7 @@ func (p *Process) EndTrans() error {
 	if len(files) == 0 {
 		// Nothing locked inside the transaction: trivially committed.
 		p.sys.Stats().Inc(stats.TxnCommits)
+		p.sys.prof().TxnEnd(txid, p.sys.cl.Clock().Now(), true)
 		p.kernel().Tracer().Record(trace.TxnCommit, txid, "", 0)
 		return nil
 	}
@@ -422,9 +434,16 @@ func (p *Process) EndTrans() error {
 		ts.committing = true
 	}
 	p.sys.mu.Unlock()
-	if err := coord.CommitTransaction(txid, files); err != nil {
+	clk := p.sys.cl.Clock()
+	prof := p.sys.prof()
+	commitT0 := clk.Now()
+	err = coord.CommitTransaction(txid, files)
+	prof.Window(txid, telemetry.WinCommit, clk.Now().Sub(commitT0))
+	if err != nil {
+		prof.TxnEnd(txid, clk.Now(), false)
 		return fmt.Errorf("%w: %v", ErrAborted, err)
 	}
+	prof.TxnEnd(txid, clk.Now(), true)
 	return nil
 }
 

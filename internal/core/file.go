@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/proc"
+	"repro/internal/telemetry"
 )
 
 // File is an open file channel of one process.  Its read/write methods
@@ -155,7 +156,9 @@ func (f *File) Lock(length int64, mode Mode, opts ...LockOpts) (int64, error) {
 	if err := f.p.checkLive(ps.TxnID); err != nil {
 		return 0, err
 	}
+	opDone := f.opWindow(ps.TxnID)
 	res, err := f.p.kernel().Lock(f.id, f.p.pid, ps.TxnID, mode, f.pos, length, f.append, o.NonTxn, !o.NoWait)
+	opDone()
 	if err != nil {
 		return 0, err
 	}
@@ -165,6 +168,26 @@ func (f *File) Lock(length int64, mode Mode, opts ...LockOpts) (int64, error) {
 		}
 	}
 	return res.Off, nil
+}
+
+// opWindow opens a WinOp profiler span covering one file operation of
+// the process's transaction; invoke the returned func when the op
+// completes.  The span catches time the op spent blocked on site-side
+// serialization (a committing transaction's flush holding the file's
+// shadow structures) that no leaf resource charges; lock-queue waits
+// inside it are charged separately by the lock manager and subtracted
+// when the report derives store_queue.  Free when profiling is off.
+func (f *File) opWindow(txid string) func() {
+	if txid == "" {
+		return func() {}
+	}
+	prof := f.p.sys.prof()
+	if prof == nil {
+		return func() {}
+	}
+	clk := f.p.sys.cl.Clock()
+	t0 := clk.Now()
+	return func() { prof.Window(txid, telemetry.WinOp, clk.Now().Sub(t0)) }
 }
 
 // LockRange locks an explicit byte range without moving the file pointer.
@@ -197,7 +220,9 @@ func (f *File) ReadAt(buf []byte, off int64) (int, error) {
 	if err := f.p.checkLive(ps.TxnID); err != nil {
 		return 0, err
 	}
+	opDone := f.opWindow(ps.TxnID)
 	data, err := f.p.kernel().Read(f.id, f.p.pid, ps.TxnID, off, len(buf))
+	opDone()
 	if err != nil {
 		return 0, err
 	}
@@ -220,7 +245,9 @@ func (f *File) WriteAt(buf []byte, off int64) (int, error) {
 	if err := f.p.checkLive(ps.TxnID); err != nil {
 		return 0, err
 	}
+	opDone := f.opWindow(ps.TxnID)
 	n, err := f.p.kernel().Write(f.id, f.p.pid, ps.TxnID, off, buf)
+	opDone()
 	if err != nil {
 		return 0, err
 	}

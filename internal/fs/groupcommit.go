@@ -47,12 +47,17 @@ func (c GroupCommitConfig) maxBatch() int {
 
 // logReq is one queued Put (or Delete, when del is set) awaiting a
 // batched flush.  done receives the record's outcome exactly once.
+// enqueued is stamped by submit so the flush can report how long the
+// record lingered waiting for companions; requests built directly for
+// flushBatch (tests) leave it zero and are skipped by the linger
+// accounting.
 type logReq struct {
-	del     bool
-	key     string
-	kind    LogKind
-	payload []byte
-	done    chan error
+	del      bool
+	key      string
+	kind     LogKind
+	payload  []byte
+	done     chan error
+	enqueued time.Time
 }
 
 // groupCommitter is the batching daemon.  Callers enqueue via submit and
@@ -109,6 +114,7 @@ func (gc *groupCommitter) submit(r *logReq) (err error, handled bool) {
 		return nil, false
 	}
 	r.done = make(chan error, 1)
+	r.enqueued = gc.clk.Now()
 	gc.queue = append(gc.queue, r)
 	if gc.waiting {
 		gc.waiting = false
@@ -143,6 +149,12 @@ func (gc *groupCommitter) run() {
 			// A flush just finished (or the queue just went non-empty):
 			// linger briefly so records arriving now share this force.
 			gc.clk.Sleep(gc.cfg.MaxDelay)
+			// Settle the instant before cutting the batch: a record
+			// whose force completes exactly when the linger expires
+			// would otherwise race the snapshot below, making batch
+			// membership — and the telemetry byte stream — depend on
+			// Go scheduling.  No-op on the real clock.
+			vtime.Yield(gc.clk)
 		}
 		gc.mu.Lock()
 		n = len(gc.queue)

@@ -7,10 +7,12 @@ import (
 	"hash/crc32"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/costmodel"
 	"repro/internal/simdisk"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/vtime"
 )
@@ -462,6 +464,7 @@ func (l *LogStore) flushBatch(batch []*logReq, clk vtime.Clock) {
 	var werr error
 	written := len(writes)
 	if len(writes) > 0 {
+		l.observeBatchLocked(batch, clk)
 		written, werr = l.v.disk.WritePages(writes)
 		l.v.st.Inc(stats.GroupCommitBatches)
 		l.v.st.Add(stats.GroupCommitRecords, int64(len(batch)))
@@ -484,6 +487,38 @@ func (l *LogStore) flushBatch(batch []*logReq, clk vtime.Clock) {
 			err = werr
 		}
 		vtime.NotifySend(clk, r.done, err)
+	}
+}
+
+// observeBatchLocked records the batch-size and per-record linger
+// histograms for one group-commit flush, measured just before the force
+// so the disk's own service time is excluded.  The GroupCommitLinger
+// trace event carries the worst linger in the batch; it is emitted only
+// for daemon-submitted batches (direct flushBatch callers leave
+// enqueued zero), so synchronous-mode traces are unchanged.
+func (l *LogStore) observeBatchLocked(batch []*logReq, clk vtime.Clock) {
+	reg := l.v.st.Registry()
+	reg.Histogram("group_commit_batch_size", telemetry.SizeBuckets()).Observe(int64(len(batch)))
+	lingerHist := reg.Histogram("group_commit_linger_ns", telemetry.DurationBuckets())
+	now := clk.Now()
+	var maxLinger time.Duration
+	stamped := false
+	for _, r := range batch {
+		if r.enqueued.IsZero() {
+			continue
+		}
+		stamped = true
+		lg := now.Sub(r.enqueued)
+		if lg < 0 {
+			lg = 0
+		}
+		lingerHist.Observe(lg.Nanoseconds())
+		if lg > maxLinger {
+			maxLinger = lg
+		}
+	}
+	if stamped {
+		l.v.tr.Record(trace.GroupCommitLinger, "", l.v.name, maxLinger.Nanoseconds())
 	}
 }
 

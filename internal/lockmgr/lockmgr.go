@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/costmodel"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/vtime"
 )
@@ -179,6 +180,13 @@ type FileLocks struct {
 	tr     *trace.Tracer // nil disables lock-event tracing
 	clk    vtime.Clock   // paces waits and queue-age arithmetic
 
+	// Telemetry handles, resolved once from the stats registry (nil
+	// handles no-op).  qdepth is a plain atomic gauge — not a computed
+	// view — so the virtual clock's sampler can read it at quiescence
+	// without touching fl.mu, which is held across clock calls.
+	qdepth *telemetry.Gauge
+	waitNS *telemetry.Histogram
+
 	mu      sync.Mutex
 	entries []*entry
 	queue   []*waiter
@@ -190,7 +198,12 @@ func NewFileLocks(id string, sizeFn func() int64, st *stats.Set) *FileLocks {
 	if sizeFn == nil {
 		sizeFn = func() int64 { return 0 }
 	}
-	return &FileLocks{id: id, sizeFn: sizeFn, st: st, clk: vtime.Real()}
+	reg := st.Registry()
+	return &FileLocks{
+		id: id, sizeFn: sizeFn, st: st, clk: vtime.Real(),
+		qdepth: reg.Gauge("lock_queue_depth"),
+		waitNS: reg.Histogram("lock_wait_ns", telemetry.DurationBuckets()),
+	}
 }
 
 // ID returns the file's identifier.
@@ -306,10 +319,15 @@ func (fl *FileLocks) Lock(req Request) (Result, error) {
 	w := &waiter{req: req, done: make(chan grant, 1), enqueued: fl.clk.Now()}
 	fl.queue = append(fl.queue, w)
 	fl.st.Inc(stats.LockWaits)
+	fl.qdepth.Add(1)
 	fl.tr.Record(trace.LockWait, req.Holder.Group(), fl.id, int64(len(fl.queue)))
 	fl.mu.Unlock()
 
 	g, ok := vtime.WaitRecv(fl.clk, w.done, req.Timeout)
+	waited := fl.clk.Now().Sub(w.enqueued)
+	fl.qdepth.Add(-1)
+	fl.waitNS.Observe(waited.Nanoseconds())
+	fl.st.Registry().Profiler().Charge(req.Holder.Txn, telemetry.ResLockWait, waited)
 	if !ok {
 		fl.removeWaiter(w)
 		// A grant may have raced the timeout.

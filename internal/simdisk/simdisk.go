@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/vtime"
 )
 
@@ -142,6 +143,11 @@ type Disk struct {
 	kindWrites map[IOKind]int64
 
 	st *stats.Set
+	// busyNS accumulates spindle busy time (syncDelay per force) so the
+	// sampler can derive a busy fraction.  Queueing wait is deliberately
+	// excluded: a force that queues behind another holds the spindle for
+	// syncDelay only.
+	busyNS *telemetry.Counter
 }
 
 // New creates a disk with numPages pages of pageSize bytes each, charging
@@ -159,6 +165,7 @@ func New(name string, numPages, pageSize int, st *stats.Set) *Disk {
 		kindWrites: make(map[IOKind]int64),
 		clock:      vtime.Real(),
 		st:         st,
+		busyNS:     st.Registry().Counter("disk_busy_ns"),
 	}
 }
 
@@ -362,6 +369,7 @@ func (d *Disk) force() error {
 	if d.syncDelay <= 0 {
 		return nil
 	}
+	d.busyNS.Add(d.syncDelay.Nanoseconds())
 	v, ok := vtime.AsVirtual(d.clock)
 	if !ok {
 		d.clock.Sleep(d.syncDelay)

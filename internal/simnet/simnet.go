@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/costmodel"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/vtime"
 )
@@ -155,6 +156,11 @@ type FaultFilter func(from, to SiteID, op string) bool
 type Network struct {
 	st    *stats.Set
 	clock vtime.Clock
+	// transitNS totals simulated one-way transit time across delivered
+	// message legs; the per-pair "net_inflight:a->b" gauges count legs
+	// currently in the air, so a utilization sample shows which links a
+	// quiescent instant has traffic on.
+	transitNS *telemetry.Counter
 
 	mu       sync.Mutex
 	cfg      Config
@@ -189,13 +195,14 @@ func New(cfg Config, st *stats.Set) *Network {
 		seed = 0x10c5 // fixed default for reproducibility
 	}
 	return &Network{
-		st:      st,
-		clock:   cfg.Clock,
-		cfg:     cfg,
-		rng:     rand.New(rand.NewSource(seed)),
-		sites:   make(map[SiteID]*Endpoint),
-		group:   make(map[SiteID]int),
-		blocked: make(map[SiteID]map[SiteID]bool),
+		st:        st,
+		transitNS: st.Registry().Counter("net_transit_ns"),
+		clock:     cfg.Clock,
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(seed)),
+		sites:     make(map[SiteID]*Endpoint),
+		group:     make(map[SiteID]int),
+		blocked:   make(map[SiteID]map[SiteID]bool),
 	}
 }
 
@@ -406,6 +413,18 @@ func payloadSize(p any) int {
 	return smallMsgBytes
 }
 
+// pairInflight returns the in-flight gauge for the directed site pair.
+// Handles are born on first use; without a registry they are nil-safe
+// no-ops.
+func (n *Network) pairInflight(from, to SiteID) *telemetry.Gauge {
+	return n.st.Registry().Gauge("net_inflight:" + from.String() + "->" + to.String())
+}
+
+// pairMsgs returns the message counter for the directed site pair.
+func (n *Network) pairMsgs(from, to SiteID) *telemetry.Counter {
+	return n.st.Registry().Counter("net_msgs:" + from.String() + "->" + to.String())
+}
+
 // Endpoint is one site's attachment to the network.
 type Endpoint struct {
 	id  SiteID
@@ -514,16 +533,21 @@ func (e *Endpoint) Call(to SiteID, op string, req any) (any, error) {
 	n.st.Add(stats.BytesSent, int64(payloadSize(req)))
 	n.st.Add(stats.Instructions, costmodel.InstrMsgHandling)
 	reqClock := e.tr.Load().MsgSend(op, "", int(to))
+	n.pairMsgs(e.id, to).Inc()
 
 	if v, ok := vtime.AsVirtual(n.clock); ok {
 		return e.callVirtual(v, dst, to, op, req, latency, timeout, dropReq, dropResp, dupReq, reqClock)
 	}
 
+	reqFlight := n.pairInflight(e.id, to)
+	reqFlight.Add(1)
 	done := make(chan callResult, 1)
 	go func() {
 		if latency > 0 {
 			n.clock.Sleep(latency)
 		}
+		reqFlight.Add(-1)
+		n.transitNS.Add(latency.Nanoseconds())
 		if dropReq {
 			return // request lost; caller times out
 		}
@@ -557,9 +581,14 @@ func (e *Endpoint) Call(to SiteID, op string, req any) (any, error) {
 		n.st.Add(stats.BytesSent, int64(payloadSize(resp)))
 		n.st.Add(stats.Instructions, costmodel.InstrMsgHandling)
 		respClock := dst.tr.Load().MsgSend(op+":resp", "", int(e.id))
+		n.pairMsgs(to, e.id).Inc()
+		respFlight := n.pairInflight(to, e.id)
+		respFlight.Add(1)
 		if latency > 0 {
 			n.clock.Sleep(latency)
 		}
+		respFlight.Add(-1)
+		n.transitNS.Add(latency.Nanoseconds())
 		if dropResp || !n.Reachable(to, e.id) {
 			return
 		}
@@ -604,7 +633,11 @@ func (e *Endpoint) callVirtual(v *vtime.Virtual, dst *Endpoint, to SiteID, op st
 		return nil, fmt.Errorf("%w: %s -> %s (%s)", ErrTimeout, e.id, to, op)
 	}
 
+	reqFlight := n.pairInflight(e.id, to)
+	reqFlight.Add(1)
 	v.Sleep(latency)
+	reqFlight.Add(-1)
+	n.transitNS.Add(latency.Nanoseconds())
 	if dropReq || !n.Reachable(e.id, to) {
 		return lost()
 	}
@@ -626,7 +659,12 @@ func (e *Endpoint) callVirtual(v *vtime.Virtual, dst *Endpoint, to SiteID, op st
 	n.st.Add(stats.BytesSent, int64(payloadSize(resp)))
 	n.st.Add(stats.Instructions, costmodel.InstrMsgHandling)
 	respClock := dst.tr.Load().MsgSend(op+":resp", "", int(e.id))
+	n.pairMsgs(to, e.id).Inc()
+	respFlight := n.pairInflight(to, e.id)
+	respFlight.Add(1)
 	v.Sleep(latency)
+	respFlight.Add(-1)
+	n.transitNS.Add(latency.Nanoseconds())
 	if dropResp || !n.Reachable(to, e.id) {
 		return lost()
 	}
@@ -727,11 +765,16 @@ func (e *Endpoint) Send(to SiteID, op string, req any) {
 	n.st.Add(stats.BytesSent, int64(payloadSize(req)))
 	n.st.Add(stats.Instructions, costmodel.InstrMsgHandling)
 	sendClock := e.tr.Load().MsgSend(op, "", int(to))
+	n.pairMsgs(e.id, to).Inc()
+	inflight := n.pairInflight(e.id, to)
+	inflight.Add(1)
 
 	n.clock.Go(func() {
 		if latency > 0 {
 			n.clock.Sleep(latency)
 		}
+		inflight.Add(-1)
+		n.transitNS.Add(latency.Nanoseconds())
 		if drop || !n.Reachable(e.id, to) {
 			return
 		}

@@ -17,7 +17,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync/atomic"
+
+	"repro/internal/telemetry"
 )
 
 // Counter identifies one class of counted event.
@@ -145,15 +146,41 @@ func (c Counter) String() string {
 // NumCounters reports how many counter classes exist.
 func NumCounters() int { return int(numCounters) }
 
-// Set is a collection of atomic counters.  The zero value is ready to use.
-// All methods are safe for concurrent use, and safe on a nil receiver
-// (where they count nothing and read zero).
+// Set is a collection of atomic counters.  Since the telemetry
+// consolidation it is a thin shim over a telemetry.Registry: each enum
+// slot pre-resolves one *telemetry.Counter handle (same snake_case name
+// as the JSON form), so the hot path stays one atomic add while the
+// stats snapshot, the bench tallies and the utilization sampler all
+// read the same cells.  Create sets with NewSet (or NewSetOn to share a
+// registry); all methods are safe for concurrent use, and safe on a nil
+// receiver (where they count nothing and read zero).
 type Set struct {
-	c [numCounters]atomic.Int64
+	reg *telemetry.Registry
+	c   [numCounters]*telemetry.Counter
 }
 
-// NewSet returns an empty counter set.
-func NewSet() *Set { return &Set{} }
+// NewSet returns an empty counter set backed by a fresh registry.
+func NewSet() *Set { return NewSetOn(telemetry.NewRegistry()) }
+
+// NewSetOn returns a counter set whose cells live in reg, one counter
+// per enum slot under its snake_case name.
+func NewSetOn(reg *telemetry.Registry) *Set {
+	s := &Set{reg: reg}
+	for i := Counter(0); i < numCounters; i++ {
+		s.c[i] = reg.Counter(counterNames[i])
+	}
+	return s
+}
+
+// Registry exposes the backing metric registry — the door to gauges,
+// histograms and the profiler for every subsystem that already threads
+// a *Set.  Returns nil on a nil set.
+func (s *Set) Registry() *telemetry.Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
 
 // Add adds n to counter c.
 func (s *Set) Add(c Counter, n int64) {
@@ -171,7 +198,7 @@ func (s *Set) Get(c Counter) int64 {
 	if s == nil {
 		return 0
 	}
-	return s.c[c].Load()
+	return s.c[c].Get()
 }
 
 // Reset zeroes every counter.
@@ -191,7 +218,7 @@ func (s *Set) Snapshot() Snapshot {
 		return snap
 	}
 	for i := range s.c {
-		snap[i] = s.c[i].Load()
+		snap[i] = s.c[i].Get()
 	}
 	return snap
 }

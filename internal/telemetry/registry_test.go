@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if got := c.Get(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("c") != c {
+		t.Fatal("second lookup returned a different counter cell")
+	}
+
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Get(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+
+	h := r.Histogram("h", []int64{10, 100})
+	for _, v := range []int64{1, 10, 11, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 4 || s.Sum != 1022 {
+		t.Fatalf("hist count/sum = %d/%d, want 4/1022", s.Count, s.Sum)
+	}
+	// Bucket 0: <=10 (two obs), bucket 1: <=100 (one), overflow: one.
+	want := []int64{2, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if m := h.Mean(); m != 1022.0/4 {
+		t.Fatalf("mean = %v, want %v", m, 1022.0/4)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	// Every handle off a nil registry is nil and every method a no-op.
+	r.Counter("x").Add(1)
+	r.Counter("x").Inc()
+	r.Gauge("x").Set(1)
+	r.Gauge("x").Add(1)
+	r.Histogram("x", SizeBuckets()).Observe(1)
+	if r.Counter("x").Get() != 0 || r.Gauge("x").Get() != 0 || r.Histogram("x", nil).Count() != 0 {
+		t.Fatal("nil handles returned nonzero values")
+	}
+	if got := r.Snapshot(); len(got.Counters) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+	if r.EnableProfiling() != nil || r.Profiler() != nil {
+		t.Fatal("nil registry produced a profiler")
+	}
+
+	var p *Profiler
+	p.TxnBegin("t", time.Time{})
+	p.Charge("t", ResLockWait, 1)
+	p.Window("t", WinCommit, 1)
+	p.TxnEnd("t", time.Time{}, true)
+	if rep := p.Report(); rep.Committed != 0 {
+		t.Fatal("nil profiler reported transactions")
+	}
+
+	var s *Sampler
+	s.Start(nil)
+	s.Stop()
+	if s.Samples() != nil || s.Interval() != 0 {
+		t.Fatal("nil sampler returned data")
+	}
+}
+
+func TestSnapshotJSONCanonical(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Add(2)
+	r.Counter("a").Add(1)
+	r.Gauge("z").Set(-3)
+	r.Histogram("h", []int64{5}).Observe(4)
+	b1, err := r.Snapshot().MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := r.Snapshot().MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("snapshots differ:\n%s\n%s", b1, b2)
+	}
+	want := `{"counters":{"a":1,"b":2},"gauges":{"z":-3},"histograms":{"h":{"bounds":[5],"counts":[1,0],"count":1,"sum":4}}}`
+	if string(b1) != want {
+		t.Fatalf("snapshot JSON = %s, want %s", b1, want)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	h := NewHistogram([]int64{1, 2, 4, 8})
+	for v := int64(1); v <= 8; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q != 4 {
+		t.Fatalf("p50 = %d, want 4", q)
+	}
+	if q := s.Quantile(1.0); q != 8 {
+		t.Fatalf("p100 = %d, want 8", q)
+	}
+}
+
+// TestRegistryHotPathRace exercises the lock-free instrumentation sites
+// concurrently with snapshot and sampler-style flatten reads; run under
+// -race (the CI race list includes this package).
+func TestRegistryHotPathRace(t *testing.T) {
+	r := NewRegistry()
+	var workers, reader sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		workers.Add(1)
+		go func(i int) {
+			defer workers.Done()
+			c := r.Counter("disk_busy_ns")
+			g := r.Gauge("lock_queue_depth")
+			h := r.Histogram("lock_wait_ns", DurationBuckets())
+			for j := 0; j < 2000; j++ {
+				c.Add(int64(i))
+				g.Add(1)
+				h.Observe(int64(j))
+				g.Add(-1)
+				// A few dynamic-name lookups mix map growth in.
+				r.Counter("site").Inc()
+			}
+		}(i)
+	}
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = r.Snapshot()
+			_ = r.flatten()
+		}
+	}()
+	workers.Wait()
+	close(stop)
+	reader.Wait()
+	if r.Counter("site").Get() != 8*2000 {
+		t.Fatalf("lost counter increments: %d", r.Counter("site").Get())
+	}
+	if r.Gauge("lock_queue_depth").Get() != 0 {
+		t.Fatal("gauge did not return to zero")
+	}
+}

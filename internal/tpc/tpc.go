@@ -40,6 +40,7 @@ import (
 	"repro/internal/shadow"
 	"repro/internal/simnet"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/vtime"
 )
@@ -362,6 +363,12 @@ func (c *Coordinator) Close() {
 	}
 }
 
+// prof returns the critical-path profiler hanging off the shared
+// registry; nil (profiling off) makes every call a cheap no-op.
+func (c *Coordinator) prof() *telemetry.Profiler {
+	return c.st.Registry().Profiler()
+}
+
 // participants groups the file list by storage site.
 func participants(files []proc.FileRef) map[simnet.SiteID][]string {
 	m := make(map[simnet.SiteID][]string)
@@ -399,7 +406,10 @@ func (c *Coordinator) CommitTransaction(txid string, files []proc.FileRef) error
 	}
 
 	// Step 1: coordinator log, status unknown.
-	if err := WriteCoordRecord(c.vol, rec); err != nil {
+	logT0 := c.clk.Now()
+	err := WriteCoordRecord(c.vol, rec)
+	c.prof().Charge(txid, telemetry.ResCoordLog, c.clk.Now().Sub(logT0))
+	if err != nil {
 		// The record never landed, so recovery reads the transaction as
 		// aborted (presumed abort).  The participants were never
 		// contacted, but they already hold the transaction's retained
@@ -429,6 +439,7 @@ func (c *Coordinator) CommitTransaction(txid string, files []proc.FileRef) error
 		vote Vote
 		err  error
 	}
+	prepT0 := c.clk.Now()
 	results := make(chan prepResult, len(parts))
 	for site, ids := range parts {
 		site, ids := site, ids
@@ -450,6 +461,7 @@ func (c *Coordinator) CommitTransaction(txid string, files []proc.FileRef) error
 			prepErr = fmt.Errorf("%w: %s: %v", ErrPrepareFailed, r.site, r.err)
 		}
 	}
+	c.prof().Window(txid, telemetry.WinPrepare, c.clk.Now().Sub(prepT0))
 	for _, site := range sites {
 		if readOnly[site] {
 			c.st.Inc(stats.ReadOnlyVotes)
@@ -508,7 +520,10 @@ func (c *Coordinator) CommitTransaction(txid string, files []proc.FileRef) error
 
 	// Step 3: the commit point - one in-place status flip.
 	rec.Status = StatusCommitted
-	if err := WriteCoordRecord(c.vol, rec); err != nil {
+	logT0 = c.clk.Now()
+	err = WriteCoordRecord(c.vol, rec)
+	c.prof().Charge(txid, telemetry.ResCoordLog, c.clk.Now().Sub(logT0))
+	if err != nil {
 		// The outcome is undecided on disk; treat as abort.
 		c.distributeOutcome(txid, p2parts, false)
 		c.finish(txid, StatusAborted)
@@ -524,9 +539,14 @@ func (c *Coordinator) CommitTransaction(txid string, files []proc.FileRef) error
 	c.st.Inc(stats.TxnCommits)
 	c.trc.Record(trace.TxnCommit, txid, "", int64(len(p2parts)))
 
-	// Step 4: phase two.
+	// Step 4: phase two.  The window is measured only when the
+	// coordinator drives it synchronously: an asynchronous phase two is
+	// off the transaction's critical path and must not be attributed to
+	// its latency.
 	if c.cfg.SyncPhase2 {
+		p2T0 := c.clk.Now()
 		c.runPhase2(txid)
+		c.prof().Window(txid, telemetry.WinPhase2, c.clk.Now().Sub(p2T0))
 	} else {
 		c.clk.Go(func() { c.runPhase2(txid) })
 	}
@@ -545,7 +565,9 @@ func (c *Coordinator) commitOnePhase(txid string, parts map[simnet.SiteID][]stri
 		site, ids = s, f
 	}
 	c.trc.Record(trace.PrepareSent, txid, site.String(), int64(len(ids)))
+	prepT0 := c.clk.Now()
 	vote, err := c.tr.SendPrepareCommit(site, txid, ids, c.site)
+	c.prof().Window(txid, telemetry.WinPrepare, c.clk.Now().Sub(prepT0))
 	if err != nil {
 		// No ack: the participant either never prepared (the abort below
 		// rolls its working state back) or already committed and the ack

@@ -47,33 +47,37 @@ const (
 	DeadlockVictim
 	VotedReadOnly
 	OnePhaseCommit
+	// GroupCommitLinger is emitted per daemon-driven batch flush with the
+	// longest time any of the batch's records spent queued (Arg, in ns).
+	GroupCommitLinger
 
 	numEventTypes
 )
 
 var eventNames = [numEventTypes]string{
-	TxnBegin:         "txn_begin",
-	TxnCommit:        "txn_commit",
-	TxnAbort:         "txn_abort",
-	LockRequest:      "lock_request",
-	LockGrant:        "lock_grant",
-	LockWait:         "lock_wait",
-	LockDeny:         "lock_deny",
-	PageWrite:        "page_write",
-	PageDiff:         "page_diff",
-	LogForce:         "log_force",
-	GroupCommitBatch: "group_commit_batch",
-	PrepareSent:      "prepare_sent",
-	Voted:            "voted",
-	CommitApplied:    "commit_applied",
-	MsgSend:          "msg_send",
-	MsgRecv:          "msg_recv",
-	Migration:        "migration",
-	CrashInject:      "crash_inject",
-	Recovery:         "recovery",
-	DeadlockVictim:   "deadlock_victim",
-	VotedReadOnly:    "voted_read_only",
-	OnePhaseCommit:   "one_phase_commit",
+	TxnBegin:          "txn_begin",
+	TxnCommit:         "txn_commit",
+	TxnAbort:          "txn_abort",
+	LockRequest:       "lock_request",
+	LockGrant:         "lock_grant",
+	LockWait:          "lock_wait",
+	LockDeny:          "lock_deny",
+	PageWrite:         "page_write",
+	PageDiff:          "page_diff",
+	LogForce:          "log_force",
+	GroupCommitBatch:  "group_commit_batch",
+	PrepareSent:       "prepare_sent",
+	Voted:             "voted",
+	CommitApplied:     "commit_applied",
+	MsgSend:           "msg_send",
+	MsgRecv:           "msg_recv",
+	Migration:         "migration",
+	CrashInject:       "crash_inject",
+	Recovery:          "recovery",
+	DeadlockVictim:    "deadlock_victim",
+	VotedReadOnly:     "voted_read_only",
+	OnePhaseCommit:    "one_phase_commit",
+	GroupCommitLinger: "group_commit_linger",
 }
 
 func (t EventType) String() string {

@@ -110,6 +110,14 @@ type event struct {
 	// for actors that stayed busy.
 	credited bool
 
+	// yield events (Virtual.Yield) fire only once no ordinary event
+	// remains at their instant: they sort after every non-yield event
+	// at the same time, and a firing round that released any ordinary
+	// event stops before them, so the yielder wakes strictly after
+	// same-instant activity — including chains those wakes spawn — has
+	// run to its next park.
+	yield bool
+
 	ch    chan struct{}  // closed at fire when non-nil (Sleep, WaitRecv)
 	tch   chan time.Time // receives the fire time when non-nil (After, NewTimer)
 	fired bool
@@ -121,6 +129,9 @@ func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
+	}
+	if h[i].yield != h[j].yield {
+		return h[j].yield // ordinary events fire before yields
 	}
 	return h[i].seq < h[j].seq
 }
@@ -151,6 +162,31 @@ type Virtual struct {
 	active int           // tokens held by runnable actors
 	seq    uint64
 	events eventHeap
+
+	// advanceHook, when set, observes every time jump: it runs with
+	// v.mu held, after now moves and before any event at the new
+	// instant fires, so every registered actor is still parked and the
+	// world is quiescent — reads of atomic state are deterministic.
+	// The hook must not call clock methods or take any lock that is
+	// ever held across a clock call.
+	advanceHook func(prev, now time.Duration)
+
+	// idleCh, when non-nil, is a WaitIdle caller parked until the
+	// simulation runs completely dry (no runnable actor, no pending
+	// event).  Closed - with the waiter's token restored - instead of
+	// panicking when that state is reached.
+	idleCh chan struct{}
+}
+
+// SetAdvanceHook installs (or, with nil, removes) the quiescent
+// time-advance observer.  One hook at a time; the telemetry sampler
+// uses it to cut deterministic time-series samples at interval
+// boundaries without scheduling events of its own — an idle simulation
+// therefore never advances on the sampler's behalf.
+func (v *Virtual) SetAdvanceHook(fn func(prev, now time.Duration)) {
+	v.mu.Lock()
+	v.advanceHook = fn
+	v.mu.Unlock()
 }
 
 // NewVirtual creates a virtual clock whose time starts at a fixed epoch.
@@ -208,6 +244,16 @@ func (v *Virtual) releaseLocked() {
 	}
 	for v.active == 0 {
 		if len(v.events) == 0 {
+			if v.idleCh != nil {
+				// A WaitIdle caller is parked for exactly this state:
+				// hand it the last token and wake it instead of
+				// declaring deadlock.
+				ch := v.idleCh
+				v.idleCh = nil
+				v.active++
+				close(ch)
+				return
+			}
 			// Every actor is parked on a channel and no deadline is
 			// pending: only a credited send could make progress, and
 			// nobody is left to send one.
@@ -217,9 +263,24 @@ func (v *Virtual) releaseLocked() {
 		if at < v.now {
 			panic(fmt.Sprintf("vtime: event scheduled in the past (%v < %v)", at, v.now))
 		}
+		prev := v.now
 		v.now = at
+		if v.advanceHook != nil && at > prev {
+			v.advanceHook(prev, at)
+		}
+		firedOrdinary := false
 		for len(v.events) > 0 && v.events[0].at == at {
-			v.fireLocked(heap.Pop(&v.events).(*event))
+			if v.events[0].yield && firedOrdinary {
+				// Leave the yielders for a later quiescence round at
+				// this same instant: the actors just released (and any
+				// same-instant events they schedule) settle first.
+				break
+			}
+			ev := heap.Pop(&v.events).(*event)
+			if !ev.yield {
+				firedOrdinary = true
+			}
+			v.fireLocked(ev)
 		}
 	}
 }
@@ -260,6 +321,52 @@ func (v *Virtual) Sleep(d time.Duration) {
 	v.releaseLocked()
 	v.mu.Unlock()
 	<-ev.ch
+}
+
+// Yield parks the calling actor until every other actor runnable at
+// the current instant — and every event chain they schedule for this
+// same instant — has run to its next park.  Virtual time does not
+// advance.  Batching daemons use it to cut deterministic batches: a
+// record submitted at instant T lands in the batch flushed at T
+// regardless of which goroutine the Go scheduler happened to run
+// first.
+func (v *Virtual) Yield() {
+	v.mu.Lock()
+	ev := v.scheduleLocked(0, true)
+	ev.yield = true
+	ev.ch = make(chan struct{})
+	v.releaseLocked()
+	v.mu.Unlock()
+	<-ev.ch
+}
+
+// Yield settles the current instant on a virtual clock (see
+// Virtual.Yield); on the real clock it is a no-op.
+func Yield(clk Clock) {
+	if v, ok := AsVirtual(clk); ok {
+		v.Yield()
+	}
+}
+
+// WaitIdle parks the calling actor until the simulation runs dry:
+// every other actor has exited or parked without a pending deadline,
+// and no event remains on the queue.  The caller's token is released
+// while it waits, so the remaining work (background daemons, async
+// cleanup) runs to completion - advancing virtual time as far as it
+// needs - before WaitIdle returns with the token restored.  Actors
+// parked on channels waiting for a credited send (an idle daemon)
+// stay parked; they do not block idleness.  One waiter at a time.
+func (v *Virtual) WaitIdle() {
+	v.mu.Lock()
+	if v.idleCh != nil {
+		v.mu.Unlock()
+		panic("vtime: concurrent WaitIdle")
+	}
+	ch := make(chan struct{})
+	v.idleCh = ch
+	v.releaseLocked()
+	v.mu.Unlock()
+	<-ch
 }
 
 // SleepUntil parks the calling actor until the given virtual instant

@@ -311,3 +311,104 @@ func TestVirtualDeterminism(t *testing.T) {
 		t.Fatalf("runs differ: %v vs %v", a, b)
 	}
 }
+
+// TestWaitIdle: the caller's token is released while background actors
+// drain; WaitIdle returns once no actor can run and no event is
+// pending, with the caller's token restored (so it may keep using the
+// clock and later exit normally).
+func TestWaitIdle(t *testing.T) {
+	v := NewVirtual()
+	var done atomic.Int64
+	for i := 1; i <= 3; i++ {
+		d := time.Duration(i) * 10 * time.Millisecond
+		v.Go(func() {
+			v.Sleep(d)
+			done.Add(1)
+		})
+	}
+	v.WaitIdle()
+	if done.Load() != 3 {
+		t.Fatalf("WaitIdle returned with %d/3 actors unfinished", done.Load())
+	}
+	if got := v.Elapsed(); got != 30*time.Millisecond {
+		t.Fatalf("elapsed %v, want 30ms", got)
+	}
+	// Token restored: the caller can still drive the clock.
+	v.Sleep(5 * time.Millisecond)
+	if got := v.Elapsed(); got != 35*time.Millisecond {
+		t.Fatalf("post-idle sleep elapsed %v, want 35ms", got)
+	}
+}
+
+// TestWaitIdleImmediate: with nothing running, WaitIdle returns at once
+// without advancing time.
+func TestWaitIdleImmediate(t *testing.T) {
+	v := NewVirtual()
+	v.WaitIdle()
+	if got := v.Elapsed(); got != 0 {
+		t.Fatalf("idle clock advanced to %v", got)
+	}
+}
+
+// TestWaitIdleSkipsParkedDaemon: an actor parked uncredited on a
+// channel (an idle daemon waiting for work) does not block idleness.
+func TestWaitIdleSkipsParkedDaemon(t *testing.T) {
+	v := NewVirtual()
+	wake := make(chan struct{}, 1)
+	exited := NewGate(v)
+	v.Go(func() {
+		defer exited.Release()
+		WaitRecv[struct{}](v, wake, 0) // parks with no deadline
+	})
+	v.Go(func() { v.Sleep(10 * time.Millisecond) })
+	v.WaitIdle() // must not hang on the parked daemon
+	if got := v.Elapsed(); got != 10*time.Millisecond {
+		t.Fatalf("elapsed %v, want 10ms", got)
+	}
+	NotifySend(v, wake, struct{}{})
+	exited.Wait()
+}
+
+// TestYieldSettlesInstant: a yielder woken at instant T must observe
+// every same-instant actor's work — including a chain woken by a
+// credited send at T — before it runs, with no time advance.
+func TestYieldSettlesInstant(t *testing.T) {
+	v := NewVirtual()
+	var x atomic.Int64
+	relay := make(chan struct{}, 1)
+	g := NewGroup(v)
+	g.Go(func() { // chain tail: woken at T by the credited send below
+		WaitRecv[struct{}](v, relay, 0)
+		x.Add(1)
+		v.Sleep(5 * time.Millisecond)
+	})
+	g.Go(func() { // ordinary actor at T
+		v.Sleep(10 * time.Millisecond)
+		x.Add(1)
+		NotifySend(v, relay, struct{}{})
+		v.Sleep(5 * time.Millisecond)
+	})
+	g.Go(func() { // yielder at T
+		v.Sleep(10 * time.Millisecond)
+		v.Yield()
+		if got := x.Load(); got != 2 {
+			t.Errorf("yielder saw x=%d at yield, want 2", got)
+		}
+		if got := v.Elapsed(); got != 10*time.Millisecond {
+			t.Errorf("yield advanced time to %v", got)
+		}
+	})
+	g.Wait()
+}
+
+// TestYieldRealNoop: the package-level helper is a no-op on the real
+// clock.
+func TestYieldRealNoop(t *testing.T) {
+	done := make(chan struct{})
+	go func() { Yield(Real()); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Yield(Real()) blocked")
+	}
+}

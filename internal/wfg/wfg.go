@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/lockmgr"
+	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/vtime"
 )
@@ -221,6 +222,9 @@ type Detector struct {
 	// Clock paces the scan interval.  Nil means the real-time clock.
 	// Set before Start.
 	Clock vtime.Clock
+	// Stats, when set, counts scans ("deadlock_scans") and victims
+	// ("deadlock_victims") into the registry behind the set.
+	Stats *stats.Set
 
 	// Stop wakes the scan goroutine with a credited send only while it
 	// is parked on stop (waiting); when the goroutine is busy inside
@@ -237,6 +241,8 @@ type Detector struct {
 // Step performs one detection scan and returns the victims (after
 // invoking OnVictim for each).
 func (d *Detector) Step() []string {
+	reg := d.Stats.Registry()
+	reg.Counter("deadlock_scans").Inc()
 	g := Build(d.Collect())
 	cycles := g.Cycles()
 	policy := d.Policy
@@ -264,6 +270,7 @@ func (d *Detector) Step() []string {
 			d.OnVictim(v, c)
 		}
 	}
+	reg.Counter("deadlock_victims").Add(int64(len(victims)))
 	sort.Strings(victims)
 	return victims
 }
