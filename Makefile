@@ -18,6 +18,7 @@ bench:           ## regenerate every paper table/figure via testing.B
 chaos:           ## 20-seed fault-injection sweep with the section 5 audit
 	$(GO) run ./cmd/locuschaos -sweep 20 -duration 1s
 	$(GO) run ./cmd/locuschaos -fastpaths -schedule 150ms:partition:2,450ms:heal,700ms:partition:3,1000ms:heal -duration 2s
+	$(GO) run ./cmd/locuschaos -leases -schedule 200ms:partition:2,600ms:heal,900ms:partition:3,1300ms:heal -duration 2s
 
 vtime:           ## 100-seed virtual-clock chaos sweep + vtime bench (DESIGN.md section 11)
 	$(GO) run ./cmd/locuschaos -vtime -sweep 100 -duration 2s

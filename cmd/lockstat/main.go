@@ -182,5 +182,16 @@ func printQueues(sys *core.System) {
 	if !any {
 		fmt.Println("  (no waiters)")
 	}
+	// The merged summary spans every shard of a site's lock manager: the
+	// oldest waiter it names is the cluster-operator answer to "who has
+	// been stuck longest here", not the oldest within one shard.
+	for _, id := range sys.Cluster().Sites() {
+		qs := sys.Cluster().Site(id).Locks().QueueSummary()
+		if qs.Depth == 0 {
+			continue
+		}
+		fmt.Printf("  site %s summary: %d waiters on %d files; oldest %s on %s\n",
+			id, qs.Depth, qs.Files, qs.OldestWait.Round(time.Millisecond), qs.OldestFile)
+	}
 	fmt.Println()
 }

@@ -33,7 +33,7 @@ import (
 )
 
 var (
-	expFlag   = flag.String("exp", "all", "experiment to run: all, fig1, fig5, lock, fig6, pagesize, shadowlog, preplog, lockcache, replica, prefetch, fn7, recovery, concurrent, mixed")
+	expFlag   = flag.String("exp", "all", "experiment to run: all, fig1, fig5, lock, fig6, pagesize, shadowlog, preplog, lockcache, replica, prefetch, fn7, recovery, concurrent, mixed, repeat")
 	markdown  = flag.Bool("markdown", false, "emit Markdown tables")
 	model     = flag.String("model", "vax750", "cost model: vax750 (the paper's testbed) or modern")
 	concFlag  = flag.Bool("concurrent", false, "run only the concurrent-commit throughput experiment")
@@ -41,6 +41,7 @@ var (
 	txnsPerCl = flag.Int("txns", 25, "transactions per client for the concurrent experiment")
 	readShare = flag.Int("readshare", -1, "mixed experiment: run only this read percentage (default sweeps 0, 50, 90)")
 	mixedTxns = flag.Int("mixedtxns", 50, "transactions per configuration for the mixed experiment")
+	repTxns   = flag.Int("repeattxns", 64, "transactions per configuration for the repeated-access lease experiment")
 	jsonPath  = flag.String("json", "", "write a machine-readable benchmark snapshot (stable schema) to this path")
 	vtimeF    = flag.Bool("vtime", false, "run the concurrent experiment on the virtual discrete-event clock with the cost model's disk latency: latencies and throughput are reported in simulated time, wall-clock shrinks by orders of magnitude")
 	telemF    = flag.Bool("telemetry", false, "run the concurrent pair with the metrics registry, utilization sampler and commit critical-path profiler attached; prints the attribution summary (with -json, writes the canonical locusbench-telemetry/v1 document instead of the classic snapshot)")
@@ -106,8 +107,9 @@ func main() {
 		"recovery":    recovery,
 		"concurrent":  concurrent,
 		"mixed":       mixed,
+		"repeat":      repeat,
 	}
-	order := []string{"fig1", "fig5", "lock", "fig6", "pagesize", "shadowlog", "preplog", "lockcache", "replica", "prefetch", "fn7", "granularity", "recovery", "concurrent", "mixed"}
+	order := []string{"fig1", "fig5", "lock", "fig6", "pagesize", "shadowlog", "preplog", "lockcache", "replica", "prefetch", "fn7", "granularity", "recovery", "concurrent", "mixed", "repeat"}
 	if *expFlag != "all" {
 		fn, ok := exps[*expFlag]
 		if !ok {
@@ -602,6 +604,37 @@ func mixed() error {
 	return nil
 }
 
+// repeat prints the skewed repeated-access table (experiment E20): one
+// serial client re-touching a single hot remote file across many small
+// transactions, sticky lock leases off and on.  With leases the storage
+// site retains the coverage between transactions (escalating to a
+// whole-file lease under dense access), so the lock messages per
+// transaction column should approach zero.
+func repeat() error {
+	rows, err := bench.RepeatPair(*repTxns)
+	if err != nil {
+		return err
+	}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Case,
+			fmt.Sprint(r.Committed),
+			fmt.Sprint(r.LockMsgs),
+			fmt.Sprintf("%.3f", r.LockMsgsPerTxn),
+			fmt.Sprint(r.LeaseHits),
+			fmt.Sprint(r.LeaseRevokes),
+			fmt.Sprint(r.Escalations),
+		})
+	}
+	table(fmt.Sprintf("Section 5.1 extended: repeated access to a hot remote file (%d txns per config)", *repTxns),
+		[]string{"case", "committed", "lock msgs", "lock msgs/txn", "lease hits", "revokes", "escalations"}, out)
+	fmt.Println("sticky leases: the storage site keeps a released lock as a lease for the")
+	fmt.Println("requesting site; repeat hits cost zero lock messages until a conflicting")
+	fmt.Println("site forces a callback revoke (DESIGN.md section 13)")
+	return nil
+}
+
 // snapshot is the stable -json schema ("locusbench/v1").  Fields are
 // append-only: future PRs may add keys but must not rename or remove
 // these, so perf trajectories stay comparable across snapshots.
@@ -617,6 +650,10 @@ type snapshot struct {
 	// concurrent pair re-run in discrete-event time at the cost model's
 	// disk latency, reporting simulated-time throughput.
 	Vtime []snapVtime `json:"vtime"`
+	// Appended for sticky lock leases (schema is append-only): the
+	// repeated-access workload leases off and on; the CI bench gate
+	// reads lock_msgs_per_txn.
+	Repeat []snapRepeat `json:"repeat"`
 }
 
 type snapFig5 struct {
@@ -665,6 +702,19 @@ type snapMixed struct {
 	ReadOnlyVotes   int64          `json:"read_only_votes"`
 	OnePhaseCommits int64          `json:"one_phase_commits"`
 	Counters        stats.Snapshot `json:"counters"`
+}
+
+type snapRepeat struct {
+	Case           string         `json:"case"`
+	Leases         bool           `json:"leases"`
+	Txns           int            `json:"txns"`
+	Committed      int64          `json:"committed"`
+	LockMsgs       int64          `json:"lock_msgs"`
+	LockMsgsPerTxn float64        `json:"lock_msgs_per_txn"`
+	LeaseHits      int64          `json:"lease_hits"`
+	LeaseRevokes   int64          `json:"lease_revokes"`
+	Escalations    int64          `json:"escalations"`
+	Counters       stats.Snapshot `json:"counters"`
 }
 
 type snapVtime struct {
@@ -758,6 +808,24 @@ func writeSnapshot(path string) error {
 			ReadOnlyVotes:   r.ReadOnly,
 			OnePhaseCommits: r.OnePhase,
 			Counters:        r.Counters,
+		})
+	}
+	rrows, err := bench.RepeatPair(*repTxns)
+	if err != nil {
+		return err
+	}
+	for _, r := range rrows {
+		snap.Repeat = append(snap.Repeat, snapRepeat{
+			Case:           r.Case,
+			Leases:         r.Leases,
+			Txns:           r.Txns,
+			Committed:      r.Committed,
+			LockMsgs:       r.LockMsgs,
+			LockMsgsPerTxn: r.LockMsgsPerTxn,
+			LeaseHits:      r.LeaseHits,
+			LeaseRevokes:   r.LeaseRevokes,
+			Escalations:    r.Escalations,
+			Counters:       r.Counters,
 		})
 	}
 	data, err := json.MarshalIndent(snap, "", "  ")

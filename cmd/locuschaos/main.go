@@ -21,6 +21,10 @@
 //	locuschaos -fastpaths -schedule 150ms:partition:2,450ms:heal,700ms:partition:3,1000ms:heal
 //	                                    # commit fast paths on, partitions landing
 //	                                    # between prepare (read-only votes) and phase two
+//	locuschaos -leases -schedule 200ms:partition:2,600ms:heal,900ms:partition:3,1300ms:heal
+//	                                    # sticky lock leases on with a short TTL:
+//	                                    # partitions land mid-revoke, forcing the
+//	                                    # expiry fallback and lease reclaim paths
 package main
 
 import (
@@ -45,6 +49,7 @@ var (
 	verbose  = flag.Bool("v", false, "log faults and recovery progress as they happen")
 	groupc   = flag.Duration("groupcommit", 0, "enable the group-commit log daemon with this max batching delay (0 = synchronous log forces)")
 	fastp    = flag.Bool("fastpaths", false, "enable the commit fast paths (read-only votes, one-phase commit) and mix read-only audit transactions into the workload")
+	leasesF  = flag.Bool("leases", false, "enable sticky lock leases with a short TTL, so callback revokes, partition-delayed revokes and leaseholder crashes interleave with the fault schedule")
 	vtimeF   = flag.Bool("vtime", false, "run on the virtual discrete-event clock with VAX-750 latencies: -duration counts simulated time and wall-clock shrinks by orders of magnitude")
 	telemF   = flag.Bool("telemetry", false, "enable commit-path profiling and append the attribution/utilization summary to the report (nondeterministic, like -stats)")
 	forens   = flag.String("forensics", "", "on any invariant failure, also write the full failure reports (violations + event-trace forensics) to this file; CI uploads it as an artifact")
@@ -75,6 +80,7 @@ func main() {
 		Schedule:    sched,
 		GroupCommit: *groupc,
 		FastPaths:   *fastp,
+		LockLeases:  *leasesF,
 		Vtime:       *vtimeF,
 		Telemetry:   *telemF,
 	}

@@ -18,6 +18,8 @@
 //	locustrace -sites 4 -txns 10     # bigger cluster, more transactions
 //	locustrace -vtime -canonical     # VAX-750 latencies in simulated time;
 //	                                 # same seed => same bytes, same sim duration
+//	locustrace -vtime -drop commit2  # force the retry/backoff path; still
+//	                                 # byte-identical on same-seed runs
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/cluster"
@@ -45,6 +48,7 @@ var (
 	filter    = flag.String("filter", "", "only show events whose type, txn or object contains this substring")
 	outPath   = flag.String("out", "", "write output here instead of stdout")
 	vtimeF    = flag.Bool("vtime", false, "run on the virtual discrete-event clock with VAX-750 latencies; the simulated duration is reported on stderr, outside the (still byte-stable) trace output")
+	dropOp    = flag.String("drop", "", "drop every other delivery of this message op (e.g. commit2), forcing the CallRetry backoff path; deterministic, so same-seed -vtime runs stay byte-identical")
 )
 
 func main() {
@@ -56,7 +60,7 @@ func main() {
 }
 
 func run() error {
-	col, sim, err := runWorkload(*seed, *sites, *txns, *vtimeF)
+	col, sim, err := runWorkload(*seed, *sites, *txns, *vtimeF, *dropOp)
 	if err != nil {
 		return err
 	}
@@ -101,8 +105,11 @@ func run() error {
 // that lives on a single storage site different from the requesting
 // site, and returns the attached collector plus the simulated duration
 // (zero unless vt).  Zero network jitter plus a serial client makes the
-// merged trace a pure function of the inputs - on either clock.
-func runWorkload(seed int64, sites, txns int, vt bool) (*trace.Collector, time.Duration, error) {
+// merged trace a pure function of the inputs - on either clock.  A
+// non-empty dropOp installs a deterministic fault filter that drops
+// every other delivery of that op, so each retried call walks the
+// per-call seeded backoff exactly once.
+func runWorkload(seed int64, sites, txns int, vt bool, dropOp string) (*trace.Collector, time.Duration, error) {
 	if sites < 2 {
 		return nil, 0, fmt.Errorf("need at least 2 sites (client + storage), got %d", sites)
 	}
@@ -122,6 +129,20 @@ func runWorkload(seed int64, sites, txns int, vt bool) (*trace.Collector, time.D
 	}
 	sys := core.NewSystem(cfg)
 	defer sys.Cluster().Shutdown()
+	if dropOp != "" {
+		var dropMu sync.Mutex
+		counts := map[string]int{}
+		sys.Cluster().Net().SetFaultFilter(func(from, to simnet.SiteID, op string) bool {
+			if op != dropOp {
+				return false
+			}
+			dropMu.Lock()
+			defer dropMu.Unlock()
+			key := fmt.Sprintf("%d>%d", from, to)
+			counts[key]++
+			return counts[key]%2 == 1
+		})
+	}
 	for i := 1; i <= sites; i++ {
 		id := simnet.SiteID(i)
 		sys.AddSite(id)

@@ -15,7 +15,7 @@ import (
 // every same-seed run.
 func TestWorkloadTraceDeterministic(t *testing.T) {
 	run := func() []byte {
-		col, _, err := runWorkload(1, 3, 5, false)
+		col, _, err := runWorkload(1, 3, 5, false, "")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -38,7 +38,7 @@ func TestWorkloadTraceDeterministic(t *testing.T) {
 // changing any event.
 func TestVtimeTraceDeterministic(t *testing.T) {
 	run := func(vt bool) ([]byte, time.Duration) {
-		col, sim, err := runWorkload(1, 3, 5, vt)
+		col, sim, err := runWorkload(1, 3, 5, vt, "")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -69,7 +69,7 @@ func TestVtimeTraceDeterministic(t *testing.T) {
 // transaction, and instant events carrying the full vocabulary.
 func TestChromeExportStructure(t *testing.T) {
 	const nTxns = 4
-	col, _, err := runWorkload(1, 3, nTxns, false)
+	col, _, err := runWorkload(1, 3, nTxns, false, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestChromeExportStructure(t *testing.T) {
 // TestFilterEvents checks the -filter substring match across type, txn
 // and object fields.
 func TestFilterEvents(t *testing.T) {
-	col, _, err := runWorkload(1, 2, 2, false)
+	col, _, err := runWorkload(1, 2, 2, false, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,10 +175,46 @@ func TestFilterEvents(t *testing.T) {
 
 // TestWorkloadValidation rejects degenerate cluster sizes.
 func TestWorkloadValidation(t *testing.T) {
-	if _, _, err := runWorkload(1, 1, 1, false); err == nil {
+	if _, _, err := runWorkload(1, 1, 1, false, ""); err == nil {
 		t.Fatal("accepted a 1-site cluster (no remote storage site possible)")
 	}
-	if _, _, err := runWorkload(1, 0, 1, false); err == nil {
+	if _, _, err := runWorkload(1, 0, 1, false, ""); err == nil {
 		t.Fatal("accepted a 0-site cluster")
+	}
+}
+
+// TestDropRetryTraceDeterministic covers the retry path: with every
+// other commit2 delivery dropped, each phase-two call walks CallRetry's
+// backoff.  The jitter is derived per call from the network seed (not
+// drawn from the shared rng stream), so two same-seed -vtime runs must
+// still agree byte for byte and on the simulated duration.
+func TestDropRetryTraceDeterministic(t *testing.T) {
+	run := func() ([]byte, time.Duration) {
+		col, sim, err := runWorkload(1, 3, 5, true, "commit2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return trace.Canonical(col.Events()), sim
+	}
+	a, simA := run()
+	b, simB := run()
+	if len(a) == 0 {
+		t.Fatal("empty canonical trace")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same-seed retry runs diverged:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+	if simA != simB {
+		t.Fatalf("simulated durations diverged: %v vs %v", simA, simB)
+	}
+	// The retry path actually ran: dropped deliveries cost call timeouts
+	// plus backoff, so the run simulates strictly more time than the
+	// clean one.
+	_, simClean, err := runWorkload(1, 3, 5, true, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simA <= simClean {
+		t.Fatalf("drop run simulated %v <= clean run %v: retry path not exercised", simA, simClean)
 	}
 }

@@ -181,6 +181,38 @@ func TestRunShortFastPaths(t *testing.T) {
 	t.Logf("\n%s", res.Report(true))
 }
 
+// TestRunShortLeases drives the revoke-during-partition schedule with
+// sticky lock leases on: the 50ms TTL guarantees leases are granted,
+// re-hit, revoked and expiry-reclaimed inside the window, and the
+// partitions land mid-revoke so the expiry fallback runs.  The audit
+// (residual locks, pair atomicity, balance conservation) must stay
+// clean - leases are a message-count optimization, never a correctness
+// change.
+func TestRunShortLeases(t *testing.T) {
+	sched, err := ParseSchedule("80ms:partition:2,220ms:heal,320ms:partition:3,450ms:heal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Options{
+		Seed:       1,
+		Duration:   600 * time.Millisecond,
+		Sites:      3,
+		Workers:    4,
+		Schedule:   sched,
+		LockLeases: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("invariant violations with lock leases:\n%s", res.Report(true))
+	}
+	if got := res.ReplayCommand(); !strings.Contains(got, "-leases") {
+		t.Fatalf("replay command omits -leases: %s", got)
+	}
+	t.Logf("\n%s", res.Report(true))
+}
+
 // TestReportReproducible runs the same seed twice and demands the exact
 // same deterministic report - the property that makes a failure's
 // "replay: locuschaos -seed N" line trustworthy.

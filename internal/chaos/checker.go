@@ -75,7 +75,17 @@ func (e *engine) checkLocks() CheckResult {
 			if fl == nil {
 				continue
 			}
-			entries := fl.Entries()
+			// Lease entries are site grants, not transaction locks: they
+			// hold no uncommitted state (a conflicting request revokes
+			// them) and by design they overlap the materialized locks of
+			// their own site's transactions, so both scans skip them.
+			all := fl.Entries()
+			entries := all[:0:0]
+			for _, en := range all {
+				if !en.Leased {
+					entries = append(entries, en)
+				}
+			}
 			for _, en := range entries {
 				c.Violations = append(c.Violations,
 					fmt.Sprintf("site %d %s: residual %v lock %s [%d,%d) after recovery",

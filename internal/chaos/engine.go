@@ -40,6 +40,12 @@ type Options struct {
 	// The audit then proves the fast paths leak nothing: locks released,
 	// no stale prepare records.
 	FastPaths bool
+	// LockLeases enables sticky lock leases (DESIGN.md section 13) with a
+	// TTL short enough that callback revokes, partition-delayed revokes
+	// falling back to expiry, and leaseholder crashes all interleave with
+	// the fault schedule.  The audit is unchanged: leases must never let a
+	// section 5 invariant slip.
+	LockLeases bool
 	// Vtime runs the whole chaos run on a virtual discrete-event clock
 	// charging the paper's VAX-750 latencies (8ms per message hop, 26ms
 	// per forced disk I/O): the fault schedule fires at exact simulated
@@ -79,10 +85,11 @@ type Result struct {
 	Seed      int64
 	Sites     int
 	Workers   int
-	Duration  time.Duration
-	FastPaths bool
-	Vtime     bool
-	Schedule  Schedule
+	Duration   time.Duration
+	FastPaths  bool
+	LockLeases bool
+	Vtime      bool
+	Schedule   Schedule
 	Commits   int64
 	Aborts    int64
 	Checks    []CheckResult
@@ -158,6 +165,9 @@ func (r *Result) ReplayCommand() string {
 		r.Seed, r.Sites, r.Workers, r.Duration)
 	if r.FastPaths {
 		cmd += " -fastpaths"
+	}
+	if r.LockLeases {
+		cmd += " -leases"
 	}
 	if r.Vtime {
 		cmd += " -vtime"
@@ -306,6 +316,13 @@ func Run(opts Options) (*Result, error) {
 			Seed:        opts.Seed,
 		},
 	}
+	if opts.LockLeases {
+		// The TTL sits under the lock-wait timeout so a waiter blocked on
+		// an unreachable leaseholder (revoke lost to a partition) still
+		// sees the lease expire before its own wait gives up.
+		cfg.LockLeases = true
+		cfg.LeaseTTL = 50 * time.Millisecond
+	}
 	if opts.Vtime {
 		// Discrete-event mode charges the VAX-750 latencies of the
 		// paper's measurements; the timeouts scale up to match (a
@@ -320,6 +337,10 @@ func Run(opts Options) (*Result, error) {
 		cfg.DiskSyncDelay = vax.DiskWriteTime
 		cfg.Net.CallTimeout = time.Second
 		cfg.Net.Latency = vax.MsgTime
+		if opts.LockLeases {
+			// Keep the TTL under the scaled-up lock-wait timeout.
+			cfg.LeaseTTL = 500 * time.Millisecond
+		}
 	}
 	e.sys = core.NewSystem(cfg)
 	defer e.sys.Cluster().Shutdown()
@@ -386,7 +407,8 @@ func Run(opts Options) (*Result, error) {
 
 	res := &Result{
 		Seed: opts.Seed, Sites: opts.Sites, Workers: opts.Workers,
-		Duration: opts.Duration, FastPaths: opts.FastPaths, Vtime: opts.Vtime,
+		Duration: opts.Duration, FastPaths: opts.FastPaths,
+		LockLeases: opts.LockLeases, Vtime: opts.Vtime,
 		Schedule: e.sched,
 		Commits:  e.commits.Load(), Aborts: e.aborts.Load(),
 	}

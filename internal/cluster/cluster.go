@@ -33,6 +33,7 @@ import (
 	"repro/internal/simdisk"
 	"repro/internal/simnet"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/tpc"
 	"repro/internal/trace"
 	"repro/internal/vtime"
@@ -99,6 +100,24 @@ type Config struct {
 	// is the commit point.  Off (the default) runs the paper-exact
 	// protocol, byte-for-byte identical on the wire and on disk.
 	FastPaths bool
+	// LockLeases enables the sticky lock leases of DESIGN.md section 13:
+	// when a transaction at a remote site releases its locks at commit,
+	// the storage site retains the coverage as a per-site lease, so the
+	// requester's next transaction re-acquires it with zero lock
+	// messages (the real descriptor materializes at the data access).  A
+	// conflicting request triggers an async callback/revoke; if the
+	// callback cannot be delivered the lease dies at its TTL instead.
+	// Off (the default) runs the paper-exact lock protocol.
+	LockLeases bool
+	// LeaseTTL bounds how long an unrevoked lease is honored (partition
+	// fallback) and how long the requester trusts its cache.  Zero means
+	// 1s — deliberately below the default LockWaitTimeout, so a queued
+	// waiter survives a full expiry-based reclaim.
+	LeaseTTL time.Duration
+	// LeaseEscalateThreshold is the number of lease grants to one
+	// (file, site) pair that escalates its byte-range leases to a single
+	// whole-file lease.  Zero means 4.
+	LeaseEscalateThreshold int
 	// DiskSyncDelay charges every forced disk I/O (sync write, vectored
 	// batch, flush) this much simulated seek+sync time, serialized at
 	// the disk like a real spindle.  Zero keeps operation-counting
@@ -132,6 +151,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.LockWaitTimeout == 0 {
 		c.LockWaitTimeout = 2 * time.Second
+	}
+	if c.LeaseTTL == 0 {
+		c.LeaseTTL = time.Second
+	}
+	if c.LeaseEscalateThreshold == 0 {
+		c.LeaseEscalateThreshold = 4
 	}
 	if c.Clock == nil {
 		c.Clock = vtime.Real()
@@ -223,6 +248,16 @@ func (c *Cluster) AddSite(id simnet.SiteID) *Site {
 	s.locks.SetTracer(s.tr)
 	s.locks.SetClock(c.cfg.Clock)
 	s.registerHandlers()
+	if c.cfg.LockLeases {
+		s.leases = make(map[string]*siteLease)
+		s.leaseMeta = make(map[string]map[simnet.SiteID]*leaseMeta)
+		s.leaseGauge = c.st.Registry().Gauge("lease_cache_files")
+		// Lease reclamation rides the failure detector (section 4.3): a
+		// site-down announcement reclaims the downed leaseholder's leases
+		// at this storage site and drops this site's cached leases on
+		// files the downed site stores.
+		c.net.Watch(s.onTopology)
+	}
 	c.sites[id] = s
 	return s
 }
@@ -439,6 +474,18 @@ type Site struct {
 	// lock cache (section 5.1): fileID -> granted coverage by group.
 	cacheMu   sync.Mutex
 	lockCache map[string][]cachedLock
+
+	// Lock-lease state (DESIGN.md section 13), both halves under one
+	// mutex: leases is the requesting-site cache (fileID -> coverage this
+	// site may re-acquire without a lock message), leaseMeta the
+	// storage-site book-keeping (per (fileID, leaseholder) grant counts,
+	// expiry and revocation state).  leaseGauge is nil unless
+	// Config.LockLeases is set, so legacy runs never materialize the
+	// metric.
+	leaseMu    sync.Mutex
+	leases     map[string]*siteLease
+	leaseMeta  map[string]map[simnet.SiteID]*leaseMeta
+	leaseGauge *telemetry.Gauge
 }
 
 type cachedLock struct {

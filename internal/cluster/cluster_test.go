@@ -218,11 +218,11 @@ func TestTxnWriteRequiresLockAtStorageSite(t *testing.T) {
 	if _, err := s1.handleOpen(openReq{Path: "va/f"}); err != nil {
 		t.Fatal(err)
 	}
-	_, err := s1.handleWrite(writeReq{FileID: "va/f", Off: 0, Data: []byte("x"), PID: 1, Txn: "T1"})
+	_, err := s1.handleWrite(s1.id, writeReq{FileID: "va/f", Off: 0, Data: []byte("x"), PID: 1, Txn: "T1"})
 	if !errors.Is(err, lockmgr.ErrAccessDenied) {
 		t.Fatalf("unlocked txn write: %v", err)
 	}
-	if _, err := s1.handleRead(readReq{FileID: "va/f", Off: 0, Len: 1, PID: 1, Txn: "T1"}); !errors.Is(err, lockmgr.ErrAccessDenied) {
+	if _, err := s1.handleRead(s1.id, readReq{FileID: "va/f", Off: 0, Len: 1, PID: 1, Txn: "T1"}); !errors.Is(err, lockmgr.ErrAccessDenied) {
 		t.Fatalf("unlocked txn read: %v", err)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/shadow"
 	"repro/internal/simnet"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Request/response payloads for the file operations.  Data-carrying
@@ -81,6 +82,14 @@ type lockReq struct {
 type lockResp struct {
 	Off int64
 	Len int64
+	// Lease grant piggybacked on the reply (DESIGN.md section 13):
+	// LeaseMode != ModeNone means the storage site installed a lease over
+	// [LeaseOff, LeaseOff+LeaseLen) — the whole file when LeaseWhole —
+	// which the requester may cache for Config.LeaseTTL.
+	LeaseMode  lockmgr.Mode
+	LeaseOff   int64
+	LeaseLen   int64
+	LeaseWhole bool
 }
 
 type unlockReq struct {
@@ -111,9 +120,16 @@ func (s *Site) registerFileHandlers() {
 	s.ep.Handle("close", s.wrap(func(req any) (any, error) { return nil, s.handleClose(req.(closeReq)) }))
 	s.ep.Handle("sync", s.wrap(func(req any) (any, error) { return nil, s.handleSync(req.(syncReq)) }))
 	s.ep.Handle("stat", s.wrap(func(req any) (any, error) { return s.handleStat(req.(statReq)) }))
-	s.ep.Handle("read", s.wrap(func(req any) (any, error) { return s.handleRead(req.(readReq)) }))
-	s.ep.Handle("write", s.wrap(func(req any) (any, error) { return s.handleWrite(req.(writeReq)) }))
-	s.ep.Handle("lock", s.wrap(func(req any) (any, error) { return s.handleLock(req.(lockReq)) }))
+	// read, write and lock keep the sender's identity: the lease
+	// protocol needs to know which site is asking (a site's own leases
+	// never block it, and leases are only granted to remote requesters).
+	s.ep.Handle("read", func(from simnet.SiteID, req any) (any, error) { return s.handleRead(from, req.(readReq)) })
+	s.ep.Handle("write", func(from simnet.SiteID, req any) (any, error) { return s.handleWrite(from, req.(writeReq)) })
+	s.ep.Handle("lock", func(from simnet.SiteID, req any) (any, error) { return s.handleLock(from, req.(lockReq)) })
+	s.ep.Handle("leaseRevoke", s.wrap(func(req any) (any, error) {
+		s.leaseCacheDrop(req.(leaseRevokeReq).FileID)
+		return nil, nil
+	}))
 	s.ep.Handle("unlock", s.wrap(func(req any) (any, error) { return s.handleUnlock(req.(unlockReq)) }))
 	s.ep.Handle("list", s.wrap(func(req any) (any, error) { return s.handleList(req.(listReq)) }))
 	s.ep.Handle("remove", s.wrap(func(req any) (any, error) { return nil, s.handleRemove(req.(removeReq)) }))
@@ -249,7 +265,7 @@ func (s *Site) handleStat(req statReq) (statResp, error) {
 // Transaction readers must hold (at least) a shared lock over the range:
 // the requesting kernel acquires it implicitly before the data request,
 // so a bare storage-site check suffices here.
-func (s *Site) handleRead(req readReq) (readResp, error) {
+func (s *Site) handleRead(from simnet.SiteID, req readReq) (readResp, error) {
 	of, err := s.lookupOpen(req.FileID)
 	if err != nil {
 		return readResp{}, err
@@ -258,10 +274,13 @@ func (s *Site) handleRead(req readReq) (readResp, error) {
 	if req.Txn != "" {
 		// Coverage by the transaction's locks, or by the process's own
 		// pre-transaction locks (usable within the transaction without
-		// joining it, section 3.4).
+		// joining it, section 3.4).  A remote requester that skipped the
+		// lock message on a lease hit materializes the real descriptor
+		// here instead.
 		pre := Holder(req.PID, "")
 		if !of.locks.Covers(h, lockmgr.ModeShared, req.Off, int64(req.Len)) &&
-			!of.locks.Covers(pre, lockmgr.ModeShared, req.Off, int64(req.Len)) {
+			!of.locks.Covers(pre, lockmgr.ModeShared, req.Off, int64(req.Len)) &&
+			!s.materializeLease(of, from, req.FileID, req.PID, req.Txn, lockmgr.ModeShared, req.Off, int64(req.Len)) {
 			return readResp{}, fmt.Errorf("%w: transaction read of %s [%d,%d) without lock",
 				lockmgr.ErrAccessDenied, req.FileID, req.Off, req.Off+int64(req.Len))
 		}
@@ -277,7 +296,7 @@ func (s *Site) handleRead(req readReq) (readResp, error) {
 }
 
 // handleWrite validates and applies a write at the storage site.
-func (s *Site) handleWrite(req writeReq) (writeResp, error) {
+func (s *Site) handleWrite(from simnet.SiteID, req writeReq) (writeResp, error) {
 	of, err := s.lookupOpen(req.FileID)
 	if err != nil {
 		return writeResp{}, err
@@ -294,7 +313,7 @@ func (s *Site) handleWrite(req writeReq) (writeResp, error) {
 			pre := Holder(req.PID, "")
 			if of.locks.Covers(pre, lockmgr.ModeExclusive, req.Off, length) {
 				owner = ownerFor(req.PID, "")
-			} else {
+			} else if !s.materializeLease(of, from, req.FileID, req.PID, req.Txn, lockmgr.ModeExclusive, req.Off, length) {
 				return writeResp{}, fmt.Errorf("%w: transaction write of %s [%d,%d) without exclusive lock",
 					lockmgr.ErrAccessDenied, req.FileID, req.Off, req.Off+length)
 			}
@@ -324,25 +343,26 @@ func (s *Site) handleWrite(req writeReq) (writeResp, error) {
 // and applies rule 2 of section 3.3: locking a record that carries
 // modified-but-uncommitted non-transaction data pulls those bytes into
 // the transaction, and the lock is forcibly transactional (retained).
-func (s *Site) handleLock(req lockReq) (lockResp, error) {
+func (s *Site) handleLock(from simnet.SiteID, req lockReq) (lockResp, error) {
 	of, err := s.lookupOpen(req.FileID)
 	if err != nil {
 		return lockResp{}, err
 	}
 	lreq := lockmgr.Request{
-		Holder: Holder(req.PID, req.Txn),
-		Mode:   req.Mode,
-		Off:    req.Off,
-		Len:    req.Len,
-		AtEOF:  req.AtEOF,
-		NonTxn: req.NonTxn,
-		Wait:   req.Wait,
+		Holder:   Holder(req.PID, req.Txn),
+		Mode:     req.Mode,
+		Off:      req.Off,
+		Len:      req.Len,
+		AtEOF:    req.AtEOF,
+		NonTxn:   req.NonTxn,
+		Wait:     req.Wait,
+		FromSite: int(from),
 	}
 	if req.Wait {
 		lreq.Timeout = s.cl.cfg.LockWaitTimeout
 	}
 	s.markOpenForUpdate(of)
-	res, err := of.locks.Lock(lreq)
+	res, err := s.lockAt(of, req.FileID, lreq)
 	if err != nil {
 		return lockResp{}, err
 	}
@@ -350,15 +370,41 @@ func (s *Site) handleLock(req lockReq) (lockResp, error) {
 		of.file.Prefetch(res.Off, res.Len) //nolint:errcheck // best-effort read-ahead
 	}
 	if req.Txn != "" {
-		txnOwner := TxnOwner(req.Txn)
-		for _, or := range of.file.UncommittedOverlapping(res.Off, res.Len) {
-			if or.Owner != txnOwner && strings.HasPrefix(string(or.Owner), "proc:") {
-				of.file.TransferMods(or.Owner, txnOwner, or.Off, or.Len)
-				of.locks.ForceTransactional(TxnGroup(req.Txn), res.Off, res.Len)
+		s.adoptUncommitted(of, req.Txn, res.Off, res.Len)
+	}
+	resp := lockResp{Off: res.Off, Len: res.Len}
+	// A transactional grant to a remote requester earns a lease: the
+	// coverage will outlive the transaction's release, so the requester's
+	// next transaction can skip the lock message entirely.
+	if s.cl.cfg.LockLeases && from != s.id && req.Txn != "" && !req.NonTxn {
+		if install, escalate := s.leaseGranted(req.FileID, from); install {
+			if of.locks.GrantLease(int(from), req.Mode, res.Off, res.Len) {
+				resp.LeaseMode = req.Mode
+				resp.LeaseOff, resp.LeaseLen = res.Off, res.Len
+				s.tr.Record(trace.LeaseGrant, TxnGroup(req.Txn), req.FileID, int64(from))
+				if escalate && of.locks.TryEscalateLease(int(from), TxnGroup(req.Txn), req.Mode) {
+					s.st.Inc(stats.LeaseEscalations)
+					s.tr.Record(trace.LockEscalate, TxnGroup(req.Txn), req.FileID, int64(from))
+					resp.LeaseWhole = true
+				}
 			}
 		}
 	}
-	return lockResp{Off: res.Off, Len: res.Len}, nil
+	return resp, nil
+}
+
+// adoptUncommitted applies rule 2 of section 3.3 after a transactional
+// lock grant: modified-but-uncommitted non-transaction bytes under the
+// granted range join the transaction, and the lock is forcibly
+// transactional (retained).
+func (s *Site) adoptUncommitted(of *openFile, txn string, off, length int64) {
+	txnOwner := TxnOwner(txn)
+	for _, or := range of.file.UncommittedOverlapping(off, length) {
+		if or.Owner != txnOwner && strings.HasPrefix(string(or.Owner), "proc:") {
+			of.file.TransferMods(or.Owner, txnOwner, or.Off, or.Len)
+			of.locks.ForceTransactional(TxnGroup(txn), off, length)
+		}
+	}
 }
 
 func (s *Site) handleUnlock(req unlockReq) (unlockResp, error) {
@@ -554,6 +600,9 @@ func (s *Site) Write(fileID string, pid int, txn string, off int64, data []byte)
 // of section 3.2).  Granted locks are cached at the requesting site.
 func (s *Site) Lock(fileID string, pid int, txn string, mode lockmgr.Mode, off, length int64, atEOF, nonTxn, wait bool) (lockmgr.Result, error) {
 	s.st.Inc(stats.Syscalls)
+	if site, err := s.cl.StorageSite(fileID); err == nil && site != s.id {
+		s.st.Inc(stats.LockMsgs)
+	}
 	resp, err := s.callStorage(fileID, "lock", lockReq{
 		FileID: fileID, PID: pid, Txn: txn, Mode: mode,
 		Off: off, Len: length, AtEOF: atEOF, NonTxn: nonTxn, Wait: wait,
@@ -563,12 +612,18 @@ func (s *Site) Lock(fileID string, pid int, txn string, mode lockmgr.Mode, off, 
 	}
 	r := resp.(lockResp)
 	s.cacheAdd(fileID, Holder(pid, txn).Group(), mode, r.Off, r.Len)
+	if r.LeaseMode != lockmgr.ModeNone {
+		s.leaseCacheAdd(fileID, r.LeaseMode, r.LeaseOff, r.LeaseLen, r.LeaseWhole)
+	}
 	return lockmgr.Result{Off: r.Off, Len: r.Len}, nil
 }
 
 // Unlock releases (or, for transactions, retains) the range.
 func (s *Site) Unlock(fileID string, pid int, txn string, off, length int64) (bool, error) {
 	s.st.Inc(stats.Syscalls)
+	if site, err := s.cl.StorageSite(fileID); err == nil && site != s.id {
+		s.st.Inc(stats.LockMsgs)
+	}
 	resp, err := s.callStorage(fileID, "unlock", unlockReq{FileID: fileID, PID: pid, Txn: txn, Off: off, Len: length})
 	if err != nil {
 		return false, err
@@ -593,6 +648,13 @@ func (s *Site) ensureLocked(fileID string, pid int, txn string, mode lockmgr.Mod
 		(s.cacheCovers(fileID, group, mode, off, length) ||
 			s.cacheCovers(fileID, preGroup, mode, off, length)) {
 		s.st.Inc(stats.LockCacheHits)
+		return nil
+	}
+	// The lease cache is consulted after the per-transaction cache: a
+	// lease survives transaction boundaries, so a repeat access by a new
+	// transaction hits here and sends no lock message at all.
+	if s.cl.cfg.LockLeases && s.leaseHit(fileID, mode, off, length) {
+		s.st.Inc(stats.LeaseHits)
 		return nil
 	}
 	s.st.Inc(stats.LockCacheMisses)

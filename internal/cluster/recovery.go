@@ -75,6 +75,7 @@ func (s *Site) Restart() error {
 	s.cacheMu.Lock()
 	s.lockCache = make(map[string][]cachedLock)
 	s.cacheMu.Unlock()
+	s.resetLeaseState()
 
 	// 1-2: reload volumes, pin prepared pages.  The old volume handles
 	// are fenced first: goroutines from before the crash (phase-two

@@ -35,7 +35,7 @@ import (
 // Options selects and bounds one probe sweep.
 type Options struct {
 	// Workload is one of "single", "diff", "tpc", "migrate",
-	// "readonly", "onephase", or "all"/"" for every workload.
+	// "readonly", "onephase", "lease", or "all"/"" for every workload.
 	Workload string
 	// Kind optionally restricts the sweep to one I/O class ("data",
 	// "inode", "coordlog", "preparelog"): only stable writes of that
@@ -219,7 +219,7 @@ type workload interface {
 }
 
 func workloads() []workload {
-	return []workload{&singleWL{}, &diffWL{}, &tpcWL{}, &migrateWL{}, &readonlyWL{}, &onephaseWL{}}
+	return []workload{&singleWL{}, &diffWL{}, &tpcWL{}, &migrateWL{}, &readonlyWL{}, &onephaseWL{}, &leaseWL{}}
 }
 
 func selectWorkloads(name string) ([]workload, error) {
@@ -271,6 +271,12 @@ type fastPather interface {
 	fastPaths() bool
 }
 
+// leaser is implemented by workloads that probe sticky lock leases
+// (DESIGN.md section 13); the harness then enables them.
+type leaser interface {
+	lockLeases() bool
+}
+
 func newHarness(w workload) (*harness, error) {
 	col := trace.NewCollector(0)
 	cfg := cluster.Config{
@@ -284,6 +290,9 @@ func newHarness(w workload) (*harness, error) {
 	}
 	if fp, ok := w.(fastPather); ok && fp.fastPaths() {
 		cfg.FastPaths = true
+	}
+	if lp, ok := w.(leaser); ok && lp.lockLeases() {
+		cfg.LockLeases = true
 	}
 	sys := core.NewSystem(cfg)
 	h := &harness{sys: sys, collector: col, n: w.sites()}
@@ -354,7 +363,14 @@ func (h *harness) drain() {
 			lm := s.Locks()
 			for _, fid := range lm.Files() {
 				if fl := lm.Lookup(fid); fl != nil {
-					pending += len(fl.Entries())
+					// Lease entries are not pending work: a lease waits
+					// for a conflicting request or its TTL, not for any
+					// transaction to finish.
+					for _, en := range fl.Entries() {
+						if !en.Leased {
+							pending++
+						}
+					}
 				}
 			}
 		}

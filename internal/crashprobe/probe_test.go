@@ -132,6 +132,23 @@ func TestOnePhaseCommitMatrix(t *testing.T) {
 	}
 }
 
+// TestLeaseMatrix sweeps the sticky-lease workload: a commit through
+// the lease-hit path (no lock message; the storage site materializes
+// the descriptor from its retained lease) followed by a conflicting
+// local commit that forces the callback revoke.  Every crash point
+// must recover to one of the three serial images, confirmed commits
+// must survive, and no lease entry may read as a residual lock.
+func TestLeaseMatrix(t *testing.T) {
+	res, err := Run(Options{Workload: "lease"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireClean(t, res)
+	if fireCount(res) == 0 {
+		t.Fatal("no lease crash point fired")
+	}
+}
+
 // TestPhase2AckDurabilityMatrix pins the coordinator's phase-two
 // ordering: crashing a participant on any prepare-log write (the class
 // that persists and clears its prepared state) must leave recovery able

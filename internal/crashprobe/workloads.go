@@ -27,9 +27,17 @@ import (
 //	onephase - single remote participant site with fast paths on: the
 //	           combined prepare-and-commit message puts the commit point
 //	           in the participant's own prepare-record force
+//	lease    - sticky lock leases on: the probed transaction commits a
+//	           remote file through the lease-hit path (no lock message;
+//	           the storage site materializes the descriptor), then a
+//	           conflicting transaction at the storage site forces the
+//	           callback revoke - crash points land inside the lease
+//	           machinery and must never tear either commit
 //
 // Each run is serial and deterministic: every replay performs the same
-// stable writes in the same order until the armed crash fires.
+// stable writes in the same order until the armed crash fires.  (The
+// lease workload's revoke callback is a network message, not a stable
+// write, so it adds no crash points of its own.)
 
 // Baseline and target images.  Sizes straddle page boundaries on
 // purpose: pre is a page and a half, post two pages and change, so
@@ -560,3 +568,114 @@ func (*onephaseWL) check(h *harness, confirmed bool) (string, []string) {
 }
 
 func (*onephaseWL) cleanup(*harness) {}
+
+// ---------------------------------------------------------------------
+// lease: sticky lock leases across the crash surface.
+
+// lease2Image is the conflicting transaction's target state; it follows
+// postImage, so the committed file must march pre -> post -> post2 and
+// recovery may stop at any completed step but never between them.
+var lease2Image = bytes.Repeat([]byte{'D'}, 2600)
+
+type leaseWL struct {
+	// confirmed2 records whether the conflicting (revoking) commit was
+	// confirmed to its client on this replay.
+	confirmed2 bool
+}
+
+func (*leaseWL) name() string     { return "lease" }
+func (*leaseWL) sites() int       { return 2 }
+func (*leaseWL) paths() []string  { return []string{"v2/f"} }
+func (*leaseWL) lockLeases() bool { return true }
+
+func (*leaseWL) setup(h *harness) error {
+	// The setup commit runs from site 1 against site 2's file, so it
+	// leaves site 2 holding a lease for site 1 before any fault is armed.
+	p, err := h.sys.NewProcess(1)
+	if err != nil {
+		return err
+	}
+	return commitFile(p, "v2/f", preImage)
+}
+
+func (w *leaseWL) run(h *harness) bool {
+	w.confirmed2 = false
+	// Probed transaction: the implicit write hits site 1's cached lease,
+	// skips the lock message, and site 2 materializes the descriptor.
+	p, err := h.sys.NewProcess(1)
+	if err != nil {
+		return false
+	}
+	f, err := p.Open("v2/f")
+	if err != nil {
+		return false
+	}
+	if _, err := p.BeginTrans(); err != nil {
+		return false
+	}
+	if _, err := f.WriteAt(postImage, 0); err != nil {
+		p.AbortTrans() //nolint:errcheck
+		return false
+	}
+	// As in tpc, an EndTrans failure is not aborted: once the commit
+	// record may exist only the protocol decides the outcome.
+	confirmed := p.EndTrans() == nil
+
+	// Conflicting transaction at the storage site: its lock acquisition
+	// must revoke site 1's lease before the grant.  Its own crash points
+	// are part of the sweep; its outcome is audited separately.
+	q, err := h.sys.NewProcess(2)
+	if err != nil {
+		return confirmed
+	}
+	g, err := q.Open("v2/f")
+	if err != nil {
+		return confirmed
+	}
+	if _, err := q.BeginTrans(); err != nil {
+		return confirmed
+	}
+	if _, err := g.WriteAt(lease2Image, 0); err != nil {
+		q.AbortTrans() //nolint:errcheck
+		return confirmed
+	}
+	w.confirmed2 = q.EndTrans() == nil
+	return confirmed
+}
+
+func (w *leaseWL) check(h *harness, confirmed bool) (string, []string) {
+	got, err := readCommittedPath(h, "v2/f")
+	if err != nil {
+		return "unreadable", []string{fmt.Sprintf("v2/f: committed read failed after recovery: %v", err)}
+	}
+	var state string
+	switch {
+	case bytes.Equal(got, preImage):
+		state = "pre"
+	case bytes.Equal(got, postImage):
+		state = "post"
+	case bytes.Equal(got, lease2Image):
+		state = "post2"
+	default:
+		state = fmt.Sprintf("torn(len=%d)", len(got))
+	}
+	var violations []string
+	if state != "pre" && state != "post" && state != "post2" {
+		violations = append(violations,
+			fmt.Sprintf("v2/f: committed content matches none of the three images (%s)", state))
+	}
+	// The commits are serial, so confirmation is monotonic: the revoking
+	// commit implies its state, the lease-hit commit implies at least its
+	// own.
+	if w.confirmed2 && state != "post2" {
+		violations = append(violations,
+			fmt.Sprintf("v2/f: revoking commit was confirmed but recovery kept %q", state))
+	}
+	if confirmed && state == "pre" {
+		violations = append(violations,
+			"v2/f: lease-hit commit was confirmed to the client but recovery reverted it")
+	}
+	return state, violations
+}
+
+func (*leaseWL) cleanup(*harness) {}

@@ -114,7 +114,21 @@ type entry struct {
 	s        span
 	retained bool // unlocked by its transaction but held until commit/abort
 	nonTxn   bool // section 3.4 non-transaction lock: exempt from retention
+	// leased marks a sticky lease (DESIGN.md section 13): the descriptor
+	// survives its transaction's release so leaseSite can re-acquire the
+	// range without a lock message.  Lease entries exclude other groups
+	// per Figure 1 but are invisible to the requests of their own site,
+	// to Unix-mode CheckAccess, and to wait-for edge construction.
+	leased    bool
+	leaseSite int
 }
+
+// leaseGroup names the conflict group of one site's leases on a file.
+func leaseGroup(site int) string { return fmt.Sprintf("lease:site%d", site) }
+
+// leaseSpanMax bounds a whole-file lease span: large enough to cover any
+// offset the append path can reach.
+const leaseSpanMax = int64(1) << 62
 
 // Request describes one locking request (the Lock(file,length,mode) call
 // of section 3.2, plus the queueing/append options).
@@ -134,6 +148,10 @@ type Request struct {
 	Wait bool
 	// Timeout bounds the queue wait; zero means wait indefinitely.
 	Timeout time.Duration
+	// FromSite is the requesting site (0 when unknown/local).  A site's
+	// own lease entries never block its requests: the lease is exactly
+	// its entitlement to re-acquire without a round trip.
+	FromSite int
 }
 
 // Result reports a granted lock.  Off is the actual locked offset, which
@@ -150,6 +168,10 @@ type EntryInfo struct {
 	Off, Len int64
 	Retained bool
 	NonTxn   bool
+	// Leased marks a sticky lease descriptor held on behalf of LeaseSite
+	// (no live transaction behind it).
+	Leased    bool
+	LeaseSite int
 }
 
 // WaitEdge is one edge of the wait-for graph: Waiter's group is blocked
@@ -225,14 +247,22 @@ func (fl *FileLocks) SetClock(c vtime.Clock) {
 // conflicting returns the groups whose entries block the request over s.
 // A process's own pre-transaction locks never block it: section 3.4 lets
 // resources locked before BeginTrans be used within the transaction
-// (without joining it).  Caller holds fl.mu.
-func (fl *FileLocks) conflicting(h Holder, mode Mode, s span) []string {
+// (without joining it).  Lease entries block foreign requests like held
+// locks (the storage site revokes them before queueing the waiter), but a
+// site's own leases never block it, and the wait-for graph builder asks
+// for them to be skipped entirely — a lease has no live transaction
+// behind it, so it can never be a deadlock participant.  Caller holds
+// fl.mu.
+func (fl *FileLocks) conflicting(h Holder, mode Mode, s span, fromSite int, includeLeases bool) []string {
 	group := h.Group()
 	var out []string
 	seen := map[string]bool{}
 	for _, e := range fl.entries {
 		fl.st.Add(stats.Instructions, costmodel.InstrLockListScanEntry)
 		if e.group == group || !e.s.overlaps(s) {
+			continue
+		}
+		if e.leased && (!includeLeases || (fromSite != 0 && e.leaseSite == fromSite)) {
 			continue
 		}
 		if h.IsTxn() && e.holder.PID == h.PID && e.holder.Txn == "" {
@@ -350,7 +380,7 @@ func (fl *FileLocks) blockingGroups(req Request) []string {
 	fl.mu.Lock()
 	defer fl.mu.Unlock()
 	s := fl.requestSpan(req)
-	return fl.conflicting(req.Holder, req.Mode, s)
+	return fl.conflicting(req.Holder, req.Mode, s, req.FromSite, true)
 }
 
 // requestSpan resolves AtEOF at this instant.  Caller holds fl.mu.
@@ -367,7 +397,7 @@ func (fl *FileLocks) requestSpan(req Request) span {
 func (fl *FileLocks) tryGrantLocked(req Request) (Result, bool) {
 	group := req.Holder.Group()
 	s := fl.requestSpan(req)
-	if len(fl.conflicting(req.Holder, req.Mode, s)) > 0 {
+	if len(fl.conflicting(req.Holder, req.Mode, s, req.FromSite, true)) > 0 {
 		return Result{}, false
 	}
 	fl.replaceOwn(req.Holder, group, req.Mode, s, req.NonTxn)
@@ -516,6 +546,13 @@ func (fl *FileLocks) CheckAccess(h Holder, write bool, off, length int64) error 
 		if e.group == group || !e.s.overlaps(s) {
 			continue
 		}
+		if e.leased {
+			// A lease is a cached re-acquisition right, not active use:
+			// Unix-mode access sees exactly what it would have seen after
+			// the legacy release.  Any real use of the lease materializes
+			// an ordinary descriptor, which this scan does honor.
+			continue
+		}
 		if e.mode == ModeExclusive || (write && e.mode == ModeShared) {
 			return fmt.Errorf("%w: %s [%d,%d) %v by %s", ErrAccessDenied,
 				fl.id, e.s.lo, e.s.hi, e.mode, e.group)
@@ -556,6 +593,201 @@ func (fl *FileLocks) Covers(h Holder, mode Mode, off, length int64) bool {
 	return need >= off+length
 }
 
+// GrantLease installs (or widens) site's sticky lease over
+// [off, off+length) at mode — the storage-site half of the lease cache of
+// DESIGN.md section 13.  A lease is only installed while the wait queue
+// is empty, so it can never cut ahead of a queued waiter: FIFO fairness
+// is preserved by construction.  Existing lease coverage of the site at a
+// weaker or equal mode is absorbed; stronger coverage survives whole.
+// Reports whether the lease is in place.
+func (fl *FileLocks) GrantLease(site int, mode Mode, off, length int64) bool {
+	if site <= 0 || length <= 0 || off < 0 || (mode != ModeShared && mode != ModeExclusive) {
+		return false
+	}
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	if len(fl.queue) > 0 {
+		return false
+	}
+	group := leaseGroup(site)
+	s := span{off, off + length}
+	var kept []*entry
+	for _, e := range fl.entries {
+		if e.group != group || !e.s.overlaps(s) {
+			kept = append(kept, e)
+			continue
+		}
+		if e.mode > mode {
+			kept = append(kept, e)
+			continue
+		}
+		if e.s.lo < s.lo {
+			left := *e
+			left.s = span{e.s.lo, s.lo}
+			kept = append(kept, &left)
+		}
+		if e.s.hi > s.hi {
+			right := *e
+			right.s = span{s.hi, e.s.hi}
+			kept = append(kept, &right)
+		}
+	}
+	kept = append(kept, &entry{
+		holder: Holder{PID: -site}, group: group, mode: mode, s: s,
+		leased: true, leaseSite: site,
+	})
+	fl.entries = kept
+	return true
+}
+
+// LeaseCovers reports whether site's lease entries at mode or stronger
+// cover every byte of [off, off+length) — the storage site's check before
+// materializing a lease-hit access into a real descriptor.
+func (fl *FileLocks) LeaseCovers(site int, mode Mode, off, length int64) bool {
+	if length <= 0 {
+		return false
+	}
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	group := leaseGroup(site)
+	var spans []span
+	for _, e := range fl.entries {
+		if e.leased && e.group == group && e.mode >= mode {
+			spans = append(spans, e.s)
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+	need := off
+	for _, s := range spans {
+		if s.hi <= need {
+			continue
+		}
+		if s.lo > need {
+			return false
+		}
+		need = s.hi
+		if need >= off+length {
+			return true
+		}
+	}
+	return need >= off+length
+}
+
+// RevokeLease removes every lease entry held for site and re-pumps the
+// queue (waiters the lease was blocking are granted in FIFO order).
+// Reports whether anything was removed.
+func (fl *FileLocks) RevokeLease(site int) bool {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	var kept []*entry
+	removed := false
+	for _, e := range fl.entries {
+		if e.leased && e.leaseSite == site {
+			removed = true
+			continue
+		}
+		kept = append(kept, e)
+	}
+	fl.entries = kept
+	if removed {
+		fl.pumpQueueLocked()
+	}
+	return removed
+}
+
+// BlockingLeaseSites returns the sites (other than req.FromSite) whose
+// lease entries conflict with req per Figure 1 — the storage site fires
+// an async revoke callback at each before letting the request queue.
+func (fl *FileLocks) BlockingLeaseSites(req Request) []int {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	s := fl.requestSpan(req)
+	seen := map[int]bool{}
+	var out []int
+	for _, e := range fl.entries {
+		if !e.leased || e.leaseSite == req.FromSite || !e.s.overlaps(s) {
+			continue
+		}
+		if req.Mode == ModeExclusive || e.mode == ModeExclusive {
+			if !seen[e.leaseSite] {
+				seen[e.leaseSite] = true
+				out = append(out, e.leaseSite)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TryEscalateLease replaces site's byte-range lease entries with a single
+// whole-file lease — the escalation of DESIGN.md section 13, triggered by
+// dense repeated access.  It succeeds only when the file is quiet: no
+// queued waiters, and every descriptor belongs either to site's lease or
+// to exceptGroup (the transaction whose grant tripped the threshold).
+// The whole-file lease takes the strongest mode among mode and the
+// absorbed entries.  Reports whether escalation happened.
+func (fl *FileLocks) TryEscalateLease(site int, exceptGroup string, mode Mode) bool {
+	if site <= 0 {
+		return false
+	}
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	if len(fl.queue) > 0 {
+		return false
+	}
+	sawLease := false
+	for _, e := range fl.entries {
+		if e.leased && e.leaseSite == site {
+			sawLease = true
+			if e.mode > mode {
+				mode = e.mode
+			}
+			continue
+		}
+		if e.group != exceptGroup {
+			return false
+		}
+		if e.mode > mode {
+			mode = e.mode
+		}
+	}
+	if !sawLease && mode == ModeNone {
+		return false
+	}
+	if mode == ModeNone {
+		mode = ModeShared
+	}
+	var kept []*entry
+	for _, e := range fl.entries {
+		if e.leased && e.leaseSite == site {
+			continue
+		}
+		kept = append(kept, e)
+	}
+	kept = append(kept, &entry{
+		holder: Holder{PID: -site}, group: leaseGroup(site), mode: mode,
+		s: span{0, leaseSpanMax}, leased: true, leaseSite: site,
+	})
+	fl.entries = kept
+	return true
+}
+
+// LeaseSites returns the sites holding lease entries on this file, sorted.
+func (fl *FileLocks) LeaseSites() []int {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	seen := map[int]bool{}
+	var out []int
+	for _, e := range fl.entries {
+		if e.leased && !seen[e.leaseSite] {
+			seen[e.leaseSite] = true
+			out = append(out, e.leaseSite)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
 // Entries returns a copy of the lock list, sorted by offset then group.
 func (fl *FileLocks) Entries() []EntryInfo {
 	fl.mu.Lock()
@@ -566,6 +798,7 @@ func (fl *FileLocks) Entries() []EntryInfo {
 			Holder: e.holder, Mode: e.mode,
 			Off: e.s.lo, Len: e.s.hi - e.s.lo,
 			Retained: e.retained, NonTxn: e.nonTxn,
+			Leased: e.leased, LeaseSite: e.leaseSite,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -580,14 +813,17 @@ func (fl *FileLocks) Entries() []EntryInfo {
 // WaitEdges returns the current wait-for edges at this file: for every
 // queued request, one edge per blocking group.  This is the operating
 // system data interface of section 3.1 that lets a system process build
-// the global wait-for graph.
+// the global wait-for graph.  Lease entries are excluded: a
+// released-but-cached lease has no live transaction behind it, so an
+// edge to it could only manufacture a phantom cycle (and a phantom
+// victim) — revocation, not victim selection, clears a lease.
 func (fl *FileLocks) WaitEdges() []WaitEdge {
 	fl.mu.Lock()
 	defer fl.mu.Unlock()
 	var out []WaitEdge
 	for _, w := range fl.queue {
 		s := fl.requestSpan(w.req)
-		for _, g := range fl.conflicting(w.req.Holder, w.req.Mode, s) {
+		for _, g := range fl.conflicting(w.req.Holder, w.req.Mode, s, w.req.FromSite, false) {
 			out = append(out, WaitEdge{Waiter: w.req.Holder.Group(), Holder: g, FileID: fl.id})
 		}
 	}
@@ -786,6 +1022,52 @@ func (m *Manager) QueueStats() []QueueInfo {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].FileID < out[j].FileID })
 	return out
+}
+
+// QueueSummary is the site-wide merge of every file's wait-queue view:
+// total files with waiters, total queued requests, and the single oldest
+// waiter across the whole table.  QueueStats alone cannot provide the
+// oldest waiter — each row is per file, and files hash across the 32 FNV
+// shards, so any per-shard or per-row "oldest" can miss the true one.
+type QueueSummary struct {
+	Files      int
+	Depth      int
+	OldestFile string
+	OldestWait time.Duration
+}
+
+// QueueSummary merges the wait-queue state across every shard of the
+// table.  Ties on wait age break toward the smaller file id, so the
+// result is deterministic.
+func (m *Manager) QueueSummary() QueueSummary {
+	var qs QueueSummary
+	for _, fl := range m.all() {
+		qi := fl.QueueInfo()
+		if qi.Depth == 0 {
+			continue
+		}
+		qs.Files++
+		qs.Depth += qi.Depth
+		if qi.OldestWait > qs.OldestWait ||
+			(qi.OldestWait == qs.OldestWait && (qs.OldestFile == "" || qi.FileID < qs.OldestFile)) {
+			qs.OldestWait = qi.OldestWait
+			qs.OldestFile = qi.FileID
+		}
+	}
+	return qs
+}
+
+// RevokeSiteLeases reclaims every lease held on behalf of site across the
+// whole lock table — the storage site's cleanup when a leaseholder
+// crashes or is declared down.  Returns the number of files affected.
+func (m *Manager) RevokeSiteLeases(site int) int {
+	n := 0
+	for _, fl := range m.all() {
+		if fl.RevokeLease(site) {
+			n++
+		}
+	}
+	return n
 }
 
 // WaitEdges aggregates the wait-for edges across all files at this site.

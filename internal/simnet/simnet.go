@@ -162,9 +162,13 @@ type Network struct {
 	// quiescent instant has traffic on.
 	transitNS *telemetry.Counter
 
-	mu       sync.Mutex
-	cfg      Config
-	rng      *rand.Rand
+	mu   sync.Mutex
+	cfg  Config
+	rng  *rand.Rand
+	// seed is the resolved Config.Seed; backoffFor hashes it per call so
+	// retry jitter never draws from the shared rng stream (whose draw
+	// order depends on goroutine interleaving under the real clock).
+	seed     int64
 	sites    map[SiteID]*Endpoint
 	group    map[SiteID]int             // partition group; all 0 when healed
 	blocked  map[SiteID]map[SiteID]bool // one-way link cuts: blocked[from][to]
@@ -199,6 +203,7 @@ func New(cfg Config, st *stats.Set) *Network {
 		transitNS: st.Registry().Counter("net_transit_ns"),
 		clock:     cfg.Clock,
 		cfg:       cfg,
+		seed:      seed,
 		rng:       rand.New(rand.NewSource(seed)),
 		sites:     make(map[SiteID]*Endpoint),
 		group:     make(map[SiteID]int),
@@ -682,24 +687,52 @@ func (e *Endpoint) callVirtual(v *vtime.Virtual, dst *Endpoint, to SiteID, op st
 	return resp, nil
 }
 
-// backoff returns the pause before retry i (0-based): exponential from
-// RetryBase, capped at RetryCap, with seeded jitter in [d/2, d) so
-// simultaneous retriers decorrelate reproducibly.
-func (n *Network) backoff(i int) time.Duration {
+// backoffFor returns the pause before retry attempt (0-based) of the
+// call (from, to, op): exponential from RetryBase, capped at RetryCap,
+// with jitter in [d/2, d) derived by hashing the call's identity under
+// the network seed.  The jitter is a pure function of its arguments, not
+// a draw from the shared rng stream: two concurrent retriers decorrelate
+// (different from/to/op/attempt hash differently) yet each retrier's
+// pauses are identical on every same-seed run regardless of goroutine
+// interleaving — the property the virtual clock's byte-identical traces
+// depend on.
+func (n *Network) backoffFor(from, to SiteID, op string, attempt int) time.Duration {
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	d := n.cfg.RetryBase
-	for k := 0; k < i && d < n.cfg.RetryCap; k++ {
+	base, cap_ := n.cfg.RetryBase, n.cfg.RetryCap
+	seed := n.seed
+	n.mu.Unlock()
+	d := base
+	for k := 0; k < attempt && d < cap_; k++ {
 		d *= 2
 	}
-	if d > n.cfg.RetryCap {
-		d = n.cfg.RetryCap
+	if d > cap_ {
+		d = cap_
 	}
 	half := d / 2
 	if half <= 0 {
 		return d
 	}
-	return half + time.Duration(n.rng.Int63n(int64(half)))
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(seed))
+	mix(uint64(from))
+	mix(uint64(to))
+	mix(uint64(attempt))
+	for i := 0; i < len(op); i++ {
+		h ^= uint64(op[i])
+		h *= prime64
+	}
+	return half + time.Duration(h%uint64(half))
 }
 
 func (n *Network) retryAttempts() int {
@@ -722,7 +755,7 @@ func (e *Endpoint) CallRetry(to SiteID, op string, req any, attempts int) (any, 
 	var err error
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
-			e.net.clock.Sleep(e.net.backoff(i - 1))
+			e.net.clock.Sleep(e.net.backoffFor(e.id, to, op, i-1))
 		}
 		var resp any
 		resp, err = e.Call(to, op, req)

@@ -513,3 +513,57 @@ func TestFaultFilterDropsMatchingOps(t *testing.T) {
 		t.Fatalf("after filter removed: %v", err)
 	}
 }
+
+func TestBackoffJitterDeterministicPerCall(t *testing.T) {
+	// The retry pause is a pure function of (seed, from, to, op, attempt):
+	// same-seed runs reproduce it exactly no matter how goroutines
+	// interleave, which the -vtime byte-identical trace check relies on.
+	cfg := Config{Seed: 99, RetryBase: 2 * time.Millisecond, RetryCap: 100 * time.Millisecond}
+	n1, _, _ := pairNet(t, cfg, nil)
+	n2, _, _ := pairNet(t, cfg, nil)
+	for attempt := 0; attempt < 6; attempt++ {
+		d1 := n1.backoffFor(1, 2, "prepare", attempt)
+		d2 := n2.backoffFor(1, 2, "prepare", attempt)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: same-seed networks disagree: %v vs %v", attempt, d1, d2)
+		}
+		// Bounds: jitter keeps the pause in [d/2, d) of the exponential
+		// step, capped.
+		step := cfg.RetryBase
+		for k := 0; k < attempt && step < cfg.RetryCap; k++ {
+			step *= 2
+		}
+		if step > cfg.RetryCap {
+			step = cfg.RetryCap
+		}
+		if d1 < step/2 || d1 >= step {
+			t.Fatalf("attempt %d: pause %v outside [%v, %v)", attempt, d1, step/2, step)
+		}
+	}
+	// Concurrent retriers decorrelate: distinct call identities hash to
+	// distinct pauses (with overwhelming probability for this seed).
+	base := n1.backoffFor(1, 2, "prepare", 3)
+	varied := 0
+	for _, d := range []time.Duration{
+		n1.backoffFor(2, 1, "prepare", 3),
+		n1.backoffFor(1, 3, "prepare", 3),
+		n1.backoffFor(1, 2, "commit2", 3),
+		n1.backoffFor(1, 2, "prepare", 4),
+	} {
+		if d != base {
+			varied++
+		}
+	}
+	if varied == 0 {
+		t.Fatal("every call identity produced the same jitter")
+	}
+	// A different seed shifts the jitter stream.
+	n3, _, _ := pairNet(t, Config{Seed: 100, RetryBase: cfg.RetryBase, RetryCap: cfg.RetryCap}, nil)
+	diff := false
+	for attempt := 0; attempt < 6 && !diff; attempt++ {
+		diff = n3.backoffFor(1, 2, "prepare", attempt) != n1.backoffFor(1, 2, "prepare", attempt)
+	}
+	if !diff {
+		t.Fatal("seed does not influence the jitter")
+	}
+}

@@ -85,6 +85,12 @@ const (
 	ReadOnlyVotes   // participants that answered prepare with VoteReadOnly
 	OnePhaseCommits // single-site transactions committed by the combined message
 
+	// Lock lease events (DESIGN.md section 13).
+	LockMsgs         // lock/unlock RPCs sent to a remote storage site
+	LeaseHits        // remote lock acquisitions satisfied from the lease cache
+	LeaseRevokes     // leases reclaimed by callback or expiry at the storage site
+	LeaseEscalations // byte-range lease sets escalated to whole-file leases
+
 	numCounters
 )
 
@@ -123,6 +129,10 @@ var counterNames = [numCounters]string{
 	TxnAborts:          "txn_aborts",
 	ReadOnlyVotes:      "read_only_votes",
 	OnePhaseCommits:    "one_phase_commits",
+	LockMsgs:           "lock_msgs",
+	LeaseHits:          "lease_hits",
+	LeaseRevokes:       "lease_revokes",
+	LeaseEscalations:   "escalations",
 }
 
 // CounterByName returns the counter with the given snake_case name.

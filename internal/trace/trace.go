@@ -50,6 +50,12 @@ const (
 	// GroupCommitLinger is emitted per daemon-driven batch flush with the
 	// longest time any of the batch's records spent queued (Arg, in ns).
 	GroupCommitLinger
+	// Lock lease events (DESIGN.md section 13).  LeaseGrant and
+	// LockEscalate are emitted at the storage site (Arg = leaseholder
+	// site); LeaseRevoke when a lease is reclaimed by callback or expiry.
+	LeaseGrant
+	LeaseRevoke
+	LockEscalate
 
 	numEventTypes
 )
@@ -78,6 +84,9 @@ var eventNames = [numEventTypes]string{
 	VotedReadOnly:     "voted_read_only",
 	OnePhaseCommit:    "one_phase_commit",
 	GroupCommitLinger: "group_commit_linger",
+	LeaseGrant:        "lease_grant",
+	LeaseRevoke:       "lease_revoke",
+	LockEscalate:      "lock_escalate",
 }
 
 func (t EventType) String() string {

@@ -318,3 +318,63 @@ func TestDetectorNilTracer(t *testing.T) {
 		t.Fatalf("victims = %v, want [txn:9]", got)
 	}
 }
+
+func TestLeaseEntriesProduceNoPhantomVictim(t *testing.T) {
+	// A released-but-cached lease blocks a waiter only until its revoke
+	// callback lands; no transaction holds it, so no abort can clear it.
+	// Before lockmgr excluded leases from edge construction, the waiter's
+	// edge pointed at the "lease:site2" pseudo-group and the detector saw
+	// a node it could neither progress nor victimize.  Build the graph
+	// from a live lock table and check the lease never reaches it.
+	m := lockmgr.NewManager(stats.NewSet())
+	fl := m.File("v/leased", nil)
+	if !fl.GrantLease(2, lockmgr.ModeExclusive, 0, 100) {
+		t.Fatal("lease grant refused")
+	}
+	w := lockmgr.Holder{PID: 9, Txn: "TW"}
+	go fl.Lock(lockmgr.Request{Holder: w, Mode: lockmgr.ModeShared, Off: 0, Len: 10, Wait: true}) //nolint:errcheck
+	deadline := time.Now().Add(2 * time.Second)
+	for fl.QueueLength() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	g := Build(m.WaitEdges())
+	for _, n := range g.Nodes() {
+		if len(n) >= 6 && n[:6] == "lease:" {
+			t.Fatalf("lease group %q leaked into the wait-for graph", n)
+		}
+	}
+	if g.Deadlocked() || len(g.Victims(nil)) != 0 {
+		t.Fatalf("phantom deadlock over a lease: cycles=%v", g.Cycles())
+	}
+
+	// A genuine cycle on other files is still found with the lease present.
+	f1, f2 := m.File("v/c1", nil), m.File("v/c2", nil)
+	h1 := lockmgr.Holder{PID: 11, Txn: "TC1"}
+	h2 := lockmgr.Holder{PID: 12, Txn: "TC2"}
+	if _, err := f1.Lock(lockmgr.Request{Holder: h1, Mode: lockmgr.ModeExclusive, Off: 0, Len: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f2.Lock(lockmgr.Request{Holder: h2, Mode: lockmgr.ModeExclusive, Off: 0, Len: 10}); err != nil {
+		t.Fatal(err)
+	}
+	go f1.Lock(lockmgr.Request{Holder: h2, Mode: lockmgr.ModeExclusive, Off: 0, Len: 10, Wait: true}) //nolint:errcheck
+	go f2.Lock(lockmgr.Request{Holder: h1, Mode: lockmgr.ModeExclusive, Off: 0, Len: 10, Wait: true}) //nolint:errcheck
+	for f1.QueueLength() < 1 || f2.QueueLength() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("cycle waiters never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	g = Build(m.WaitEdges())
+	if got := g.Victims(VictimYoungest); !reflect.DeepEqual(got, []string{"txn:TC2"}) {
+		t.Fatalf("victims = %v, want [txn:TC2]", got)
+	}
+	m.ReleaseGroup("txn:TC2")
+	m.ReleaseGroup("txn:TC1")
+	fl.RevokeLease(2)
+	m.ReleaseGroup("txn:TW")
+}
