@@ -33,7 +33,7 @@ import (
 )
 
 var (
-	expFlag   = flag.String("exp", "all", "experiment to run: all, fig1, fig5, lock, fig6, pagesize, shadowlog, preplog, lockcache, replica, prefetch, fn7, recovery, concurrent, mixed, repeat")
+	expFlag   = flag.String("exp", "all", "experiment to run: all, fig1, fig5, lock, fig6, pagesize, shadowlog, preplog, lockcache, replica, prefetch, fn7, recovery, concurrent, mixed, repeat, skew")
 	markdown  = flag.Bool("markdown", false, "emit Markdown tables")
 	model     = flag.String("model", "vax750", "cost model: vax750 (the paper's testbed) or modern")
 	concFlag  = flag.Bool("concurrent", false, "run only the concurrent-commit throughput experiment")
@@ -42,6 +42,7 @@ var (
 	readShare = flag.Int("readshare", -1, "mixed experiment: run only this read percentage (default sweeps 0, 50, 90)")
 	mixedTxns = flag.Int("mixedtxns", 50, "transactions per configuration for the mixed experiment")
 	repTxns   = flag.Int("repeattxns", 64, "transactions per configuration for the repeated-access lease experiment")
+	skewTxns  = flag.Int("skewtxns", 64, "measured transactions per client for the skewed-placement experiment (an equal warm-up window precedes them)")
 	jsonPath  = flag.String("json", "", "write a machine-readable benchmark snapshot (stable schema) to this path")
 	vtimeF    = flag.Bool("vtime", false, "run the concurrent experiment on the virtual discrete-event clock with the cost model's disk latency: latencies and throughput are reported in simulated time, wall-clock shrinks by orders of magnitude")
 	telemF    = flag.Bool("telemetry", false, "run the concurrent pair with the metrics registry, utilization sampler and commit critical-path profiler attached; prints the attribution summary (with -json, writes the canonical locusbench-telemetry/v1 document instead of the classic snapshot)")
@@ -108,8 +109,9 @@ func main() {
 		"concurrent":  concurrent,
 		"mixed":       mixed,
 		"repeat":      repeat,
+		"skew":        skew,
 	}
-	order := []string{"fig1", "fig5", "lock", "fig6", "pagesize", "shadowlog", "preplog", "lockcache", "replica", "prefetch", "fn7", "granularity", "recovery", "concurrent", "mixed", "repeat"}
+	order := []string{"fig1", "fig5", "lock", "fig6", "pagesize", "shadowlog", "preplog", "lockcache", "replica", "prefetch", "fn7", "granularity", "recovery", "concurrent", "mixed", "repeat", "skew"}
 	if *expFlag != "all" {
 		fn, ok := exps[*expFlag]
 		if !ok {
@@ -635,6 +637,38 @@ func repeat() error {
 	return nil
 }
 
+// skew prints the locality-adaptive placement table (experiment E21):
+// two client sites driving disjoint Zipfian hot sets against a file
+// pool mounted at a third site, adaptive placement off and on.  With
+// placement on, ownership moves and commit routing drive the local
+// commit fraction toward one and the messages per transaction down.
+func skew() error {
+	rows, err := bench.SkewSweep(*skewTxns)
+	if err != nil {
+		return err
+	}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Case,
+			fmt.Sprint(r.Committed),
+			fmt.Sprintf("%.3f", r.LocalCommitFraction),
+			fmt.Sprintf("%.2f", r.RemotePartsPerTxn),
+			fmt.Sprintf("%.2f", r.MsgsPerTxn),
+			fmt.Sprintf("%.2f", r.ForcedPerTxn),
+			fmt.Sprint(r.OwnerMoves),
+			fmt.Sprint(r.RoutedCommits),
+			fmt.Sprint(r.ProcMoves),
+		})
+	}
+	table(fmt.Sprintf("Locality-adaptive placement: skewed clients vs one storage site (%d measured txns per client)", *skewTxns),
+		[]string{"case", "committed", "local frac", "remote parts/txn", "msgs/txn", "forced IOs/txn", "owner moves", "routed", "proc moves"}, out)
+	fmt.Println("adaptive placement: the heat tracker migrates each client's hot files to")
+	fmt.Println("that client and commit routing localizes the rest, so hot commits stop")
+	fmt.Println("crossing the network (DESIGN.md section 14)")
+	return nil
+}
+
 // snapshot is the stable -json schema ("locusbench/v1").  Fields are
 // append-only: future PRs may add keys but must not rename or remove
 // these, so perf trajectories stay comparable across snapshots.
@@ -654,6 +688,27 @@ type snapshot struct {
 	// repeated-access workload leases off and on; the CI bench gate
 	// reads lock_msgs_per_txn.
 	Repeat []snapRepeat `json:"repeat"`
+	// Appended for locality-adaptive placement (schema is append-only):
+	// the skewed-client sweep, placement off and on; the CI bench gate
+	// reads local_commit_fraction (higher is better) and
+	// forced_ios_per_txn.
+	Skew []snapSkew `json:"skew"`
+}
+
+type snapSkew struct {
+	Case                string         `json:"case"`
+	Adaptive            bool           `json:"adaptive_placement"`
+	Pattern             string         `json:"pattern"`
+	Txns                int            `json:"txns"`
+	Committed           int64          `json:"committed"`
+	LocalCommitFraction float64        `json:"local_commit_fraction"`
+	RemotePartsPerTxn   float64        `json:"remote_participants_per_txn"`
+	MsgsPerTxn          float64        `json:"msgs_per_txn"`
+	ForcedPerTxn        float64        `json:"forced_ios_per_txn"`
+	OwnerMoves          int64          `json:"owner_moves"`
+	RoutedCommits       int64          `json:"routed_commits"`
+	ProcMoves           int64          `json:"placement_migrations"`
+	Counters            stats.Snapshot `json:"counters"`
 }
 
 type snapFig5 struct {
@@ -826,6 +881,27 @@ func writeSnapshot(path string) error {
 			LeaseRevokes:   r.LeaseRevokes,
 			Escalations:    r.Escalations,
 			Counters:       r.Counters,
+		})
+	}
+	srows, err := bench.SkewSweep(*skewTxns)
+	if err != nil {
+		return err
+	}
+	for _, r := range srows {
+		snap.Skew = append(snap.Skew, snapSkew{
+			Case:                r.Case,
+			Adaptive:            r.Adaptive,
+			Pattern:             r.Pattern,
+			Txns:                r.Txns,
+			Committed:           r.Committed,
+			LocalCommitFraction: r.LocalCommitFraction,
+			RemotePartsPerTxn:   r.RemotePartsPerTxn,
+			MsgsPerTxn:          r.MsgsPerTxn,
+			ForcedPerTxn:        r.ForcedPerTxn,
+			OwnerMoves:          r.OwnerMoves,
+			RoutedCommits:       r.RoutedCommits,
+			ProcMoves:           r.ProcMoves,
+			Counters:            r.Counters,
 		})
 	}
 	data, err := json.MarshalIndent(snap, "", "  ")

@@ -25,6 +25,10 @@
 //	                                    # sticky lock leases on with a short TTL:
 //	                                    # partitions land mid-revoke, forcing the
 //	                                    # expiry fallback and lease reclaim paths
+//	locuschaos -placement -schedule 150ms:partition:2,400ms:heal,700ms:crash:3,1000ms:restart:3
+//	                                    # adaptive placement with hair-trigger knobs:
+//	                                    # partitions and crashes land mid-ownership-move;
+//	                                    # the audit adds single-primary convergence
 package main
 
 import (
@@ -50,6 +54,7 @@ var (
 	groupc   = flag.Duration("groupcommit", 0, "enable the group-commit log daemon with this max batching delay (0 = synchronous log forces)")
 	fastp    = flag.Bool("fastpaths", false, "enable the commit fast paths (read-only votes, one-phase commit) and mix read-only audit transactions into the workload")
 	leasesF  = flag.Bool("leases", false, "enable sticky lock leases with a short TTL, so callback revokes, partition-delayed revokes and leaseholder crashes interleave with the fault schedule")
+	placeF   = flag.Bool("placement", false, "enable locality-adaptive placement with aggressive knobs, so ownership moves and routed commits interleave with the fault schedule; the audit adds a single-primary convergence check")
 	vtimeF   = flag.Bool("vtime", false, "run on the virtual discrete-event clock with VAX-750 latencies: -duration counts simulated time and wall-clock shrinks by orders of magnitude")
 	telemF   = flag.Bool("telemetry", false, "enable commit-path profiling and append the attribution/utilization summary to the report (nondeterministic, like -stats)")
 	forens   = flag.String("forensics", "", "on any invariant failure, also write the full failure reports (violations + event-trace forensics) to this file; CI uploads it as an artifact")
@@ -81,6 +86,7 @@ func main() {
 		GroupCommit: *groupc,
 		FastPaths:   *fastp,
 		LockLeases:  *leasesF,
+		Placement:   *placeF,
 		Vtime:       *vtimeF,
 		Telemetry:   *telemF,
 	}

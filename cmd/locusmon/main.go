@@ -127,6 +127,11 @@ func report(r bench.ConcurrentRow) {
 	if n := c["msgs_sent"]; n > 0 {
 		fmt.Printf("network: %d messages, %s in transit\n", n, time.Duration(c["net_transit_ns"]).Round(time.Millisecond))
 	}
+	if commits := c["txn_commits"]; commits > 0 {
+		fmt.Printf("locality: %.1f%% local commits (%d of %d), %d remote participant sites, %d owner moves, %d routed, %d proc moves\n",
+			100*float64(c["local_commits"])/float64(commits), c["local_commits"], commits,
+			c["remote_participants"], c["owner_moves"], c["routed_commits"], c["placement_migrations"])
+	}
 	if h, ok := r.Metrics.Histograms["lock_wait_ns"]; ok && h.Count > 0 {
 		fmt.Printf("lock manager: %d queue waits, mean %s\n",
 			h.Count, time.Duration(int64(float64(h.Sum)/float64(h.Count))).Round(time.Microsecond))

@@ -29,7 +29,7 @@ import (
 )
 
 var (
-	workload  = flag.String("workload", "all", "workload to sweep: single, diff, tpc, migrate, readonly, onephase, lease, or all")
+	workload  = flag.String("workload", "all", "workload to sweep: single, diff, tpc, migrate, readonly, onephase, lease, ownermove, or all")
 	kind      = flag.String("kind", "", "restrict crash points to one I/O class: data, inode, coordlog, preparelog (empty = every stable write)")
 	maxPoints = flag.Int("max-points", 0, "bound the sweep per disk by stride-sampling this many indices (0 = exhaustive)")
 	jsonOut   = flag.Bool("json", false, "emit the full matrix as deterministic JSON instead of the text report")

@@ -213,6 +213,37 @@ func TestRunShortLeases(t *testing.T) {
 	t.Logf("\n%s", res.Report(true))
 }
 
+// TestRunShortPlacement drives partitions across a run with
+// locality-adaptive placement on aggressive knobs: files migrate after
+// two accesses, so ownership moves and routed commits land inside the
+// partition windows.  Every invariant - including the single-primary
+// check the placement mode adds - must hold, and the replay command
+// must carry the -placement flag.
+func TestRunShortPlacement(t *testing.T) {
+	sched, err := ParseSchedule("80ms:partition:2,220ms:heal,320ms:partition:3,450ms:heal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Options{
+		Seed:      1,
+		Duration:  600 * time.Millisecond,
+		Sites:     3,
+		Workers:   4,
+		Schedule:  sched,
+		Placement: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("invariant violations with adaptive placement:\n%s", res.Report(true))
+	}
+	if got := res.ReplayCommand(); !strings.Contains(got, "-placement") {
+		t.Fatalf("replay command omits -placement: %s", got)
+	}
+	t.Logf("owner moves=%d routed commits=%d\n%s", res.OwnerMoves, res.RoutedCommits, res.Report(true))
+}
+
 // TestReportReproducible runs the same seed twice and demands the exact
 // same deterministic report - the property that makes a failure's
 // "replay: locuschaos -seed N" line trustworthy.

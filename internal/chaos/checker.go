@@ -1,10 +1,16 @@
 package chaos
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
+	"strings"
 
 	"repro/internal/core"
+	"repro/internal/fs"
 	"repro/internal/lockmgr"
+	"repro/internal/shadow"
+	"repro/internal/simnet"
 	"repro/internal/tpc"
 )
 
@@ -17,9 +23,58 @@ func (e *engine) check() []CheckResult {
 		e.checkResolution(),
 		e.checkLocks(),
 		e.checkAllocators(),
+		e.checkPlacement(),
 		e.checkPairs(),
 		e.checkAccounts(),
 	}
+}
+
+// checkPlacement: whatever ownership moves the heat tracker performed -
+// and wherever a crash or partition cut one short - every workload file
+// must end with exactly one primary copy after recovery, held by the
+// site the catalog names.  A shipped copy whose home flip never
+// committed must be purged on restart; two primaries would let sites
+// serve divergent committed bytes.  With placement off this degenerates
+// to "every file still lives at its mount site", so it runs always.
+func (e *engine) checkPlacement() CheckResult {
+	var files []string
+	for _, ps := range e.pairs {
+		files = append(files, ps.pathA, ps.pathB)
+	}
+	files = append(files, e.accounts...)
+	c := CheckResult{Name: "single-primary", Detail: fmt.Sprintf("%d files", len(files))}
+	cl := e.sys.Cluster()
+	for _, path := range files {
+		vol, name, ok := strings.Cut(path, "/")
+		if !ok {
+			c.Violations = append(c.Violations, fmt.Sprintf("%s: path has no volume component", path))
+			continue
+		}
+		home, err := cl.StorageSite(path)
+		if err != nil {
+			c.Violations = append(c.Violations, fmt.Sprintf("%s: no storage site after recovery: %v", path, err))
+			c.Forensics = append(c.Forensics, e.forensics(path)...)
+			continue
+		}
+		var holders []simnet.SiteID
+		for _, id := range cl.Sites() {
+			has, err := cl.Site(id).HasLocalFile(vol, name)
+			if err != nil {
+				c.Violations = append(c.Violations,
+					fmt.Sprintf("%s: scanning site %d for a local copy: %v", path, id, err))
+				continue
+			}
+			if has {
+				holders = append(holders, id)
+			}
+		}
+		if len(holders) != 1 || holders[0] != home {
+			c.Violations = append(c.Violations,
+				fmt.Sprintf("%s: primary copies at sites %v, catalog says %v", path, holders, home))
+			c.Forensics = append(c.Forensics, e.forensics(path)...)
+		}
+	}
+	return c
 }
 
 // checkResolution: after total crash-restart recovery plus resolution,
@@ -126,12 +181,20 @@ func (e *engine) checkAllocators() CheckResult {
 		for _, name := range s.Volumes() {
 			vol := s.Volume(name)
 			geo := vol.Geometry()
+			owner := inodeNames(vol)
+			ownerName := func(ino int) string {
+				if n, ok := owner[ino]; ok {
+					return n
+				}
+				return "?"
+			}
 			ref := map[int]int{} // physical page -> referencing inode
 			for _, ino := range vol.Inodes() {
 				node, err := vol.ReadInode(ino)
 				if err != nil {
 					c.Violations = append(c.Violations,
-						fmt.Sprintf("%s ino %d: unreadable after recovery: %v", name, ino, err))
+						fmt.Sprintf("site %d %s ino %d (%s): unreadable after recovery: %v",
+							id, name, ino, ownerName(ino), err))
 					continue
 				}
 				pages := node.Pages
@@ -144,26 +207,27 @@ func (e *engine) checkAllocators() CheckResult {
 					}
 					if pg < geo.DataStart || pg >= geo.NumPages {
 						c.Violations = append(c.Violations,
-							fmt.Sprintf("%s ino %d: page %d outside data region [%d,%d)",
-								name, ino, pg, geo.DataStart, geo.NumPages))
+							fmt.Sprintf("site %d %s ino %d (%s): page %d outside data region [%d,%d)",
+								id, name, ino, ownerName(ino), pg, geo.DataStart, geo.NumPages))
 						continue
 					}
 					if prev, dup := ref[pg]; dup {
 						c.Violations = append(c.Violations,
-							fmt.Sprintf("%s: page %d referenced by both ino %d and ino %d",
-								name, pg, prev, ino))
+							fmt.Sprintf("site %d %s: page %d referenced by both ino %d (%s) and ino %d (%s)",
+								id, name, pg, prev, ownerName(prev), ino, ownerName(ino)))
 					}
 					ref[pg] = ino
 					if !vol.PageAllocated(pg) {
 						c.Violations = append(c.Violations,
-							fmt.Sprintf("%s ino %d: references free page %d", name, ino, pg))
+							fmt.Sprintf("site %d %s ino %d (%s): references free page %d",
+								id, name, ino, ownerName(ino), pg))
 					}
 				}
 			}
 			for pg := geo.DataStart; pg < geo.NumPages; pg++ {
 				if _, ok := ref[pg]; !ok && vol.PageAllocated(pg) {
 					c.Violations = append(c.Violations,
-						fmt.Sprintf("%s: page %d allocated but referenced by no inode", name, pg))
+						fmt.Sprintf("site %d %s: page %d allocated but referenced by no inode", id, name, pg))
 				}
 			}
 		}
@@ -266,6 +330,32 @@ func (e *engine) checkAccounts() CheckResult {
 				map[bool]string{true: "created", false: "destroyed"}[sum > e.total]))
 	}
 	return c
+}
+
+// inodeNames maps a volume's inodes to the directory names referencing
+// them, so an allocator violation says which files collided.  Inode 0 is
+// the directory itself; unmapped inodes render as "?".
+func inodeNames(vol *fs.Volume) map[int]string {
+	names := map[int]string{0: "<directory>"}
+	f, err := shadow.Open(vol, 0)
+	if err != nil {
+		return names
+	}
+	buf := make([]byte, f.CommittedSize())
+	if len(buf) == 0 {
+		return names
+	}
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		return names
+	}
+	dir := map[string]int{}
+	if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&dir); err != nil {
+		return names
+	}
+	for name, ino := range dir {
+		names[ino] = name
+	}
+	return names
 }
 
 // readCommitted returns a file's committed contents via a fresh non-

@@ -14,6 +14,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/simdisk"
 	"repro/internal/simnet"
+	"repro/internal/stats"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/vtime"
@@ -46,6 +47,15 @@ type Options struct {
 	// the fault schedule.  The audit is unchanged: leases must never let a
 	// section 5 invariant slip.
 	LockLeases bool
+	// Placement enables locality-adaptive placement (DESIGN.md section
+	// 14) with aggressive policy knobs, so ownership moves and routed
+	// commits fire constantly and interleave with every fault in the
+	// schedule: partitions land mid-move, sites crash holding a shipped
+	// copy whose home flip never committed.  The audit gains a
+	// single-primary check on top of the section 5 invariants: after
+	// recovery every workload file must have exactly one local copy,
+	// stored where the catalog says.
+	Placement bool
 	// Vtime runs the whole chaos run on a virtual discrete-event clock
 	// charging the paper's VAX-750 latencies (8ms per message hop, 26ms
 	// per forced disk I/O): the fault schedule fires at exact simulated
@@ -88,10 +98,17 @@ type Result struct {
 	Duration   time.Duration
 	FastPaths  bool
 	LockLeases bool
+	Placement  bool
 	Vtime      bool
 	Schedule   Schedule
 	Commits   int64
 	Aborts    int64
+	// OwnerMoves and RoutedCommits count the placement machinery's
+	// activity over the run (zero unless Options.Placement was set).
+	// Like Commits/Aborts they depend on real scheduling, but under
+	// Vtime they are exact.
+	OwnerMoves    int64
+	RoutedCommits int64
 	Checks    []CheckResult
 	// SimElapsed is the total simulated time of a Vtime run (zero
 	// otherwise): workload window plus quiesce and recovery.
@@ -169,6 +186,9 @@ func (r *Result) ReplayCommand() string {
 	if r.LockLeases {
 		cmd += " -leases"
 	}
+	if r.Placement {
+		cmd += " -placement"
+	}
 	if r.Vtime {
 		cmd += " -vtime"
 	}
@@ -204,6 +224,9 @@ func (r *Result) Report(withStats bool) string {
 	}
 	if withStats {
 		fmt.Fprintf(&b, "stats: %d commits, %d aborts\n", r.Commits, r.Aborts)
+		if r.Placement {
+			fmt.Fprintf(&b, "stats: %d owner moves, %d routed commits\n", r.OwnerMoves, r.RoutedCommits)
+		}
 		if r.Vtime {
 			fmt.Fprintf(&b, "stats: %s simulated\n", r.SimElapsed)
 		}
@@ -323,6 +346,14 @@ func Run(opts Options) (*Result, error) {
 		cfg.LockLeases = true
 		cfg.LeaseTTL = 50 * time.Millisecond
 	}
+	if opts.Placement {
+		// Aggressive knobs: a file moves once a remote site holds 60% of
+		// two decayed accesses and may move again two accesses later, so
+		// the fault schedule is guaranteed to catch moves in flight.
+		cfg.AdaptivePlacement = true
+		cfg.PlacementMinAccesses = 2
+		cfg.PlacementCooldown = 2
+	}
 	if opts.Vtime {
 		// Discrete-event mode charges the VAX-750 latencies of the
 		// paper's measurements; the timeouts scale up to match (a
@@ -408,10 +439,13 @@ func Run(opts Options) (*Result, error) {
 	res := &Result{
 		Seed: opts.Seed, Sites: opts.Sites, Workers: opts.Workers,
 		Duration: opts.Duration, FastPaths: opts.FastPaths,
-		LockLeases: opts.LockLeases, Vtime: opts.Vtime,
+		LockLeases: opts.LockLeases, Placement: opts.Placement, Vtime: opts.Vtime,
 		Schedule: e.sched,
 		Commits:  e.commits.Load(), Aborts: e.aborts.Load(),
 	}
+	snap := e.sys.Stats().Snapshot()
+	res.OwnerMoves = snap.Get(stats.OwnerMoves)
+	res.RoutedCommits = snap.Get(stats.RoutedCommits)
 	if v, ok := vtime.AsVirtual(e.clk); ok {
 		res.SimElapsed = v.Elapsed()
 	}
@@ -755,38 +789,63 @@ func (e *engine) quiesce() error {
 	net.SetFaultFilter(nil)
 	net.Heal()
 
-	for _, id := range cl.Sites() {
-		if s := cl.Site(id); s.Up() {
-			s.Crash()
-		}
-	}
-	for _, id := range cl.Sites() {
-		if err := cl.Site(id).Restart(); err != nil {
-			return fmt.Errorf("chaos: final restart of site %d: %w", id, err)
-		}
-	}
+	// An adoption request can sit queued in the network long after its
+	// move gave up on it (the source's disown retries exhaust while the
+	// target is unreachable, then the source forgets the move entirely at
+	// its next crash).  If such a stale request lands after its target's
+	// restart purge already ran, it installs an orphan copy nothing will
+	// ever reclaim — except the next restart purge.  So the crash-restart
+	// round repeats until one completes with no adoptions landing inside
+	// it: the last round's purge then provably saw every copy.  No new
+	// moves start once recovery has drained, so the rounds converge as
+	// soon as the in-flight tail of the network empties.
+	const maxRounds = 5
+	for round := 1; round <= maxRounds; round++ {
+		before := e.sys.Stats().Snapshot().Get(stats.OwnerAdopts)
 
-	deadline := e.clk.Now().Add(10 * time.Second)
-	for {
-		pending := 0
 		for _, id := range cl.Sites() {
-			s := cl.Site(id)
-			n, err := s.ResolveInDoubt()
-			if err != nil {
-				return fmt.Errorf("chaos: resolve in doubt at site %d: %w", id, err)
-			}
-			pending += n
-			if coord, err := s.Coordinator(); err == nil {
-				coord.RetryPending()
-				pending += coord.PendingCount()
+			if s := cl.Site(id); s.Up() {
+				s.Crash()
 			}
 		}
-		if pending == 0 {
+		for _, id := range cl.Sites() {
+			if err := cl.Site(id).Restart(); err != nil {
+				return fmt.Errorf("chaos: final restart of site %d: %w", id, err)
+			}
+		}
+
+		deadline := e.clk.Now().Add(10 * time.Second)
+		for {
+			pending := 0
+			for _, id := range cl.Sites() {
+				s := cl.Site(id)
+				n, err := s.ResolveInDoubt()
+				if err != nil {
+					return fmt.Errorf("chaos: resolve in doubt at site %d: %w", id, err)
+				}
+				pending += n
+				if coord, err := s.Coordinator(); err == nil {
+					coord.RetryPending()
+					pending += coord.PendingCount()
+				}
+				// Recovery-driven commits can trigger ownership moves, and
+				// an abandoned move disowns its copy from a detached purge
+				// goroutine; the single-primary audit must not race either.
+				pending += s.PlacementInFlight()
+			}
+			if pending == 0 {
+				break
+			}
+			if e.clk.Now().After(deadline) {
+				return errors.New("chaos: recovery never drained (in-doubt or pending phase two stuck)")
+			}
+			e.clk.Sleep(5 * time.Millisecond)
+		}
+
+		if e.sys.Stats().Snapshot().Get(stats.OwnerAdopts) == before {
 			return nil
 		}
-		if e.clk.Now().After(deadline) {
-			return errors.New("chaos: recovery never drained (in-doubt or pending phase two stuck)")
-		}
-		e.clk.Sleep(5 * time.Millisecond)
+		e.logf("quiesce: adoptions landed during restart round %d; running another purge round", round)
 	}
+	return errors.New("chaos: placement never quiesced (adoptions kept landing across restart rounds)")
 }

@@ -43,6 +43,22 @@ func TestVtimeGroupCommit(t *testing.T) {
 	}
 }
 
+// TestVtimePlacement sweeps adaptive placement under the virtual clock:
+// the VAX-era latencies stretch every ownership move across the fault
+// schedule (adoptions outlive RPC timeouts, moves straddle crashes), the
+// regime that shook out the duplicate-adoption and abandoned-copy bugs.
+func TestVtimePlacement(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		res, err := Run(Options{Seed: seed, Duration: 2 * time.Second, Vtime: true, Placement: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.OK() {
+			t.Errorf("seed %d violations:\n%s", seed, res.Report(true))
+		}
+	}
+}
+
 // TestVtimeSweep runs a batch of seeds through both configurations.
 // Sixty full chaos runs cost well under a second of wall-clock on the
 // virtual clock - the breadth that shook out the credit-handoff and

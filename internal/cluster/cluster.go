@@ -28,6 +28,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/fs"
 	"repro/internal/lockmgr"
+	"repro/internal/placement"
 	"repro/internal/proc"
 	"repro/internal/shadow"
 	"repro/internal/simdisk"
@@ -114,6 +115,29 @@ type Config struct {
 	// 1s — deliberately below the default LockWaitTimeout, so a queued
 	// waiter survives a full expiry-based reclaim.
 	LeaseTTL time.Duration
+	// AdaptivePlacement enables locality-adaptive placement (DESIGN.md
+	// section 14): each storage site tracks which site actually uses each
+	// file (decayed access counts) and, when a remote site dominates,
+	// migrates the file's primary copy there with a small transactional
+	// ownership move, so that site's future commits are local.  Commit
+	// coordination is likewise routed to the site holding all of a
+	// transaction's data.  Off (the default) runs the static placement,
+	// byte-for-byte identical on the wire and on disk.
+	AdaptivePlacement bool
+	// PlacementThreshold is the decayed access share a remote site must
+	// hold on a file to be its dominant accessor (zero means 0.6; values
+	// above 0.5 are the anti-ping-pong hysteresis).
+	PlacementThreshold float64
+	// PlacementMinAccesses is the decayed access mass the dominant site
+	// must have accumulated before a move is considered (zero means 8).
+	PlacementMinAccesses float64
+	// PlacementCooldown is the number of accesses to a file that must
+	// elapse after an ownership move before it may move again (zero
+	// means 32).
+	PlacementCooldown int64
+	// PlacementHalfLife is the number of accesses over which an old
+	// observation loses half its weight (zero means 256).
+	PlacementHalfLife float64
 	// LeaseEscalateThreshold is the number of lease grants to one
 	// (file, site) pair that escalates its byte-range leases to a single
 	// whole-file lease.  Zero means 4.
@@ -140,6 +164,17 @@ type Config struct {
 // groupCommit builds the fs-layer config from the cluster knobs.
 func (c Config) groupCommit() fs.GroupCommitConfig {
 	return fs.GroupCommitConfig{MaxBatch: c.GroupCommitMaxBatch, MaxDelay: c.GroupCommitMaxDelay, Clock: c.Clock}
+}
+
+// PlacementConfig builds the placement-policy knobs from the cluster
+// config (zero knobs take the placement defaults).
+func (c Config) PlacementConfig() placement.Config {
+	return placement.Config{
+		Threshold:   c.PlacementThreshold,
+		MinAccesses: c.PlacementMinAccesses,
+		Cooldown:    c.PlacementCooldown,
+		HalfLife:    c.PlacementHalfLife,
+	}
 }
 
 func (c Config) withDefaults() Config {
@@ -174,6 +209,11 @@ type Cluster struct {
 	sites        map[simnet.SiteID]*Site
 	mounts       map[string]simnet.SiteID // volume name -> storage site
 	replicaSites map[string][]simnet.SiteID
+	// fileHomes overrides the volume mount for individual files whose
+	// primary copy was migrated by adaptive placement: path -> current
+	// home site.  Entries exist only while a file lives away from its
+	// volume's mount site, so static runs never consult a populated map.
+	fileHomes map[string]simnet.SiteID
 
 	nextPID atomic.Int64
 	nextTxn atomic.Int64
@@ -198,6 +238,7 @@ func New(cfg Config) *Cluster {
 		sites:        make(map[simnet.SiteID]*Site),
 		mounts:       make(map[string]simnet.SiteID),
 		replicaSites: make(map[string][]simnet.SiteID),
+		fileHomes:    make(map[string]simnet.SiteID),
 	}
 }
 
@@ -248,6 +289,12 @@ func (c *Cluster) AddSite(id simnet.SiteID) *Site {
 	s.locks.SetTracer(s.tr)
 	s.locks.SetClock(c.cfg.Clock)
 	s.registerHandlers()
+	if c.cfg.AdaptivePlacement {
+		s.heat = placement.NewTracker(c.cfg.PlacementConfig())
+		s.moving = make(map[string]uint64)
+		s.adopted = make(map[string]uint64)
+		s.purgeWanted = make(map[string]uint64)
+	}
 	if c.cfg.LockLeases {
 		s.leases = make(map[string]*siteLease)
 		s.leaseMeta = make(map[string]map[simnet.SiteID]*leaseMeta)
@@ -322,7 +369,9 @@ func (c *Cluster) AddVolume(site simnet.SiteID, name string) error {
 }
 
 // StorageSite resolves the storage site of a path or file ID
-// ("volume/name"), consulting the transparent namespace.
+// ("volume/name"), consulting the transparent namespace.  A file whose
+// primary copy was migrated by adaptive placement resolves to its
+// current home, not its volume's mount site.
 func (c *Cluster) StorageSite(path string) (simnet.SiteID, error) {
 	volName, _, err := splitPath(path)
 	if err != nil {
@@ -330,11 +379,61 @@ func (c *Cluster) StorageSite(path string) (simnet.SiteID, error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if site, ok := c.fileHomes[path]; ok {
+		return site, nil
+	}
 	site, ok := c.mounts[volName]
 	if !ok {
 		return 0, fmt.Errorf("%w: %q", ErrNoSuchVolume, volName)
 	}
 	return site, nil
+}
+
+// setFileHome repoints a file's primary copy in the transparent
+// namespace.  Moving a file back to its volume's mount site erases the
+// override - the mount is canonical again.
+func (c *Cluster) setFileHome(path string, site simnet.SiteID) {
+	volName, _, err := splitPath(path)
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	if c.mounts[volName] == site {
+		delete(c.fileHomes, path)
+	} else {
+		c.fileHomes[path] = site
+	}
+	c.mu.Unlock()
+}
+
+// clearFileHome drops a file's placement override (file removed).
+func (c *Cluster) clearFileHome(path string) {
+	c.mu.Lock()
+	delete(c.fileHomes, path)
+	c.mu.Unlock()
+}
+
+// FileHome reports a file's placement override, if it has one.
+func (c *Cluster) FileHome(path string) (simnet.SiteID, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	site, ok := c.fileHomes[path]
+	return site, ok
+}
+
+// homesForVolume lists the names (not paths) of the volume's files
+// currently homed away from its mount site.
+func (c *Cluster) homesForVolume(volName string) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var names []string
+	prefix := volName + "/"
+	for path := range c.fileHomes {
+		if strings.HasPrefix(path, prefix) {
+			names = append(names, path[len(prefix):])
+		}
+	}
+	return names
 }
 
 // splitPath parses "volume/name".
@@ -385,6 +484,12 @@ type volState struct {
 	name string
 	disk *simdisk.Disk
 	vol  *fs.Volume
+	// hosted marks a volume created by an ownership-move adoption rather
+	// than a mount (placement.go hostedVol).  Hosted volumes serve files
+	// like mounted ones but are ineligible to carry the coordinator log:
+	// they appear mid-run, so binding the log to one would move it across
+	// a restart and recovery would replay the wrong volume.
+	hosted bool
 
 	// dirMu is clock-aware: writeDirLocked commits the directory file
 	// (forced disk writes) while holding it.
@@ -463,6 +568,11 @@ type Site struct {
 	// park without freezing simulated time.
 	mu       vtime.Mutex
 	up       bool
+	// epoch counts crashes: goroutines whose work spans a crash boundary
+	// (an inline ownership move on a commit handler) capture it and
+	// refuse state-changing steps once it advances, since every
+	// precondition they checked died with the kernel memory.
+	epoch    uint64
 	vols     map[string]*volState
 	open     map[string]*openFile
 	locks    *lockmgr.Manager
@@ -486,6 +596,28 @@ type Site struct {
 	leases     map[string]*siteLease
 	leaseMeta  map[string]map[simnet.SiteID]*leaseMeta
 	leaseGauge *telemetry.Gauge
+
+	// Adaptive-placement state (DESIGN.md section 14), nil unless
+	// Config.AdaptivePlacement: heat is this storage site's per-file
+	// accessor profile; moving marks files whose primary copy is mid-move,
+	// fencing new operations behind errMoved until the repoint completes.
+	// The map value is a claim token (moveSeq at claim time): the fence is
+	// kernel memory, wiped by Restart like the lock table, and the token
+	// keeps a pre-crash move's deferred release from deleting a claim
+	// made after the restart.  adopted remembers, per path, the MoveID of
+	// the adoption that installed the local copy; purgeWanted holds purge
+	// requests that arrived while that adoption was still running (the
+	// handler honors them when it finishes).  placeOps counts in-flight
+	// placement operations (moves, adoptions, purges) so a harness can
+	// quiesce placement before auditing - it tracks goroutines, not
+	// kernel state, and deliberately survives Restart.
+	placeMu     sync.Mutex
+	heat        *placement.Tracker
+	moving      map[string]uint64
+	moveSeq     uint64
+	adopted     map[string]uint64
+	purgeWanted map[string]uint64
+	placeOps    atomic.Int64
 }
 
 type cachedLock struct {
@@ -519,6 +651,11 @@ func (s *Site) Locks() *lockmgr.Manager {
 	return s.locks
 }
 
+// Heat exposes the site's placement heat tracker; nil unless
+// Config.AdaptivePlacement (the tracker is nil-safe, so callers need no
+// guard).
+func (s *Site) Heat() *placement.Tracker { return s.heat }
+
 // Up reports whether the site is running.
 func (s *Site) Up() bool {
 	s.mu.Lock()
@@ -527,17 +664,25 @@ func (s *Site) Up() bool {
 }
 
 // coordVolume picks the site's volume that holds its coordinator log: the
-// first mounted volume by name.  Sites that coordinate transactions must
-// have at least one volume.
+// first mounted volume by name.  Hosted volumes (ownership-move
+// adoptions) are skipped even when lexically first: they materialize
+// mid-run, and a log that moved volumes across a restart would leave
+// recovery replaying the wrong log - stranding records whose presumed-
+// abort answer could then contradict a commit that already happened.
+// Sites that coordinate transactions must have at least one mounted
+// volume.
 func (s *Site) coordVolume() (*fs.Volume, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.vols) == 0 {
-		return nil, fmt.Errorf("cluster: site %v has no volume for its coordinator log", s.id)
-	}
 	var names []string
-	for n := range s.vols {
+	for n, vs := range s.vols {
+		if vs.hosted {
+			continue
+		}
 		names = append(names, n)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("cluster: site %v has no mounted volume for its coordinator log", s.id)
 	}
 	sort.Strings(names)
 	return s.vols[names[0]].vol, nil

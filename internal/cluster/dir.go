@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/fs"
 	"repro/internal/shadow"
 )
 
@@ -41,7 +42,7 @@ func (vs *volState) loadDirectory() error {
 	}
 	buf := make([]byte, f.CommittedSize())
 	if _, err := f.ReadAt(buf, 0); err != nil {
-		return err
+		return fmt.Errorf("cluster: read directory of %q: %w", vs.name, err)
 	}
 	vs.dirMu.Lock()
 	defer vs.dirMu.Unlock()
@@ -49,17 +50,27 @@ func (vs *volState) loadDirectory() error {
 	if len(buf) == 0 {
 		return nil
 	}
-	return gob.NewDecoder(bytes.NewReader(buf)).Decode(&vs.dir)
+	if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&vs.dir); err != nil {
+		return fmt.Errorf("cluster: decode directory of %q: %w", vs.name, err)
+	}
+	return nil
 }
 
 // writeDirLocked persists the directory map with an immediate commit.
 // Caller holds vs.dirMu.
 func (vs *volState) writeDirLocked() error {
+	return vs.writeDirLockedOn(vs.vol)
+}
+
+// writeDirLockedOn is writeDirLocked against an explicit volume handle,
+// for callers whose operation spans several durable steps and must not
+// straddle a reload (see dirCreateOn).  Caller holds vs.dirMu.
+func (vs *volState) writeDirLockedOn(vol *fs.Volume) error {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(vs.dir); err != nil {
 		return err
 	}
-	f, err := shadow.Open(vs.vol, 0)
+	f, err := shadow.Open(vol, 0)
 	if err != nil {
 		return err
 	}
@@ -69,19 +80,48 @@ func (vs *volState) writeDirLocked() error {
 	return f.Commit(dirOwner)
 }
 
+// pinVol snapshots the current volume handle.  A multi-step operation
+// (an ownership-move adoption) captures it once and performs every
+// durable step against it: if the site crash-restarts mid-operation the
+// reload invalidates this handle, so the whole operation fails cleanly
+// instead of splitting across two volume generations - inode numbers
+// allocated in the old one are meaningless to the reloaded allocator.
+func (vs *volState) pinVol() *fs.Volume {
+	vs.dirMu.Lock()
+	defer vs.dirMu.Unlock()
+	return vs.vol
+}
+
 // dirCreate allocates an inode for name and persists the entry.
 func (vs *volState) dirCreate(name string) (int, error) {
 	vs.dirMu.Lock()
 	defer vs.dirMu.Unlock()
+	return vs.dirCreateLocked(vs.vol, name)
+}
+
+// dirCreateOn is dirCreate pinned to a volume handle from pinVol: it
+// refuses if a reload swapped the volume since the pin, so the caller's
+// inode number and directory entry are guaranteed to belong to the same
+// volume generation as its later writes.
+func (vs *volState) dirCreateOn(vol *fs.Volume, name string) (int, error) {
+	vs.dirMu.Lock()
+	defer vs.dirMu.Unlock()
+	if vs.vol != vol {
+		return 0, fmt.Errorf("cluster: %q: %w", vs.name, fs.ErrStaleVolume)
+	}
+	return vs.dirCreateLocked(vol, name)
+}
+
+func (vs *volState) dirCreateLocked(vol *fs.Volume, name string) (int, error) {
 	if _, ok := vs.dir[name]; ok {
 		return 0, fmt.Errorf("%w: %s/%s", ErrFileExists, vs.name, name)
 	}
-	ino, err := vs.vol.AllocInode()
+	ino, err := vol.AllocInode()
 	if err != nil {
 		return 0, err
 	}
 	vs.dir[name] = ino
-	if err := vs.writeDirLocked(); err != nil {
+	if err := vs.writeDirLockedOn(vol); err != nil {
 		delete(vs.dir, name)
 		return 0, err
 	}

@@ -1,7 +1,9 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/lockmgr"
@@ -164,6 +166,9 @@ func (s *Site) volByName(name string) (*volState, error) {
 // separates from locking, section 3.2), brings the inode into memory, and
 // returns the file's identity.
 func (s *Site) handleOpen(req openReq) (openResp, error) {
+	if err := s.movingGuard(req.Path); err != nil {
+		return openResp{}, err
+	}
 	volName, name, err := splitPath(req.Path)
 	if err != nil {
 		return openResp{}, err
@@ -205,6 +210,9 @@ func (s *Site) handleOpen(req openReq) (openResp, error) {
 // single-file atomic update on close.  A transaction's close commits
 // nothing; its changes wait for the transaction's outcome.
 func (s *Site) handleClose(req closeReq) error {
+	if err := s.movingGuard(req.FileID); err != nil {
+		return err
+	}
 	of, err := s.lookupOpen(req.FileID)
 	if err != nil {
 		return err
@@ -234,6 +242,9 @@ func (s *Site) handleClose(req closeReq) error {
 // handleSync commits a non-transaction owner's modifications immediately
 // (fsync-style), using the single-file commit mechanism.
 func (s *Site) handleSync(req syncReq) error {
+	if err := s.movingGuard(req.FileID); err != nil {
+		return err
+	}
 	of, err := s.lookupOpen(req.FileID)
 	if err != nil {
 		return err
@@ -254,6 +265,9 @@ func (s *Site) handleSync(req syncReq) error {
 }
 
 func (s *Site) handleStat(req statReq) (statResp, error) {
+	if err := s.movingGuard(req.FileID); err != nil {
+		return statResp{}, err
+	}
 	of, err := s.lookupOpen(req.FileID)
 	if err != nil {
 		return statResp{}, err
@@ -266,10 +280,14 @@ func (s *Site) handleStat(req statReq) (statResp, error) {
 // the requesting kernel acquires it implicitly before the data request,
 // so a bare storage-site check suffices here.
 func (s *Site) handleRead(from simnet.SiteID, req readReq) (readResp, error) {
+	if err := s.movingGuard(req.FileID); err != nil {
+		return readResp{}, err
+	}
 	of, err := s.lookupOpen(req.FileID)
 	if err != nil {
 		return readResp{}, err
 	}
+	s.recordHeat(req.FileID, from, req.Txn)
 	h := Holder(req.PID, req.Txn)
 	if req.Txn != "" {
 		// Coverage by the transaction's locks, or by the process's own
@@ -297,10 +315,14 @@ func (s *Site) handleRead(from simnet.SiteID, req readReq) (readResp, error) {
 
 // handleWrite validates and applies a write at the storage site.
 func (s *Site) handleWrite(from simnet.SiteID, req writeReq) (writeResp, error) {
+	if err := s.movingGuard(req.FileID); err != nil {
+		return writeResp{}, err
+	}
 	of, err := s.lookupOpen(req.FileID)
 	if err != nil {
 		return writeResp{}, err
 	}
+	s.recordHeat(req.FileID, from, req.Txn)
 	h := Holder(req.PID, req.Txn)
 	owner := ownerFor(req.PID, req.Txn)
 	length := int64(len(req.Data))
@@ -344,6 +366,9 @@ func (s *Site) handleWrite(from simnet.SiteID, req writeReq) (writeResp, error) 
 // modified-but-uncommitted non-transaction data pulls those bytes into
 // the transaction, and the lock is forcibly transactional (retained).
 func (s *Site) handleLock(from simnet.SiteID, req lockReq) (lockResp, error) {
+	if err := s.movingGuard(req.FileID); err != nil {
+		return lockResp{}, err
+	}
 	of, err := s.lookupOpen(req.FileID)
 	if err != nil {
 		return lockResp{}, err
@@ -408,6 +433,9 @@ func (s *Site) adoptUncommitted(of *openFile, txn string, off, length int64) {
 }
 
 func (s *Site) handleUnlock(req unlockReq) (unlockResp, error) {
+	if err := s.movingGuard(req.FileID); err != nil {
+		return unlockResp{}, err
+	}
 	of, err := s.lookupOpen(req.FileID)
 	if err != nil {
 		return unlockResp{}, err
@@ -432,13 +460,31 @@ func (s *Site) handleList(req listReq) (listResp, error) {
 	if err != nil {
 		return listResp{}, err
 	}
-	return listResp{Names: vs.dirList()}, nil
+	names := vs.dirList()
+	// Files homed away from the mount site left this directory when they
+	// moved; the namespace still lists them under their volume.
+	if extra := s.cl.homesForVolume(req.Volume); len(extra) > 0 {
+		have := make(map[string]bool, len(names))
+		for _, n := range names {
+			have[n] = true
+		}
+		for _, n := range extra {
+			if !have[n] {
+				names = append(names, n)
+			}
+		}
+		sort.Strings(names)
+	}
+	return listResp{Names: names}, nil
 }
 
 // handleRemove deletes a file: the directory entry goes first (the
 // committed point of the removal), then the data pages and inode are
 // reclaimed.  An open file cannot be removed.
 func (s *Site) handleRemove(req removeReq) error {
+	if err := s.movingGuard(req.Path); err != nil {
+		return err
+	}
 	volName, name, err := splitPath(req.Path)
 	if err != nil {
 		return err
@@ -479,6 +525,8 @@ func (s *Site) handleRemove(req removeReq) error {
 	if err := vs.vol.FreeInode(ino); err != nil {
 		return err
 	}
+	s.cl.clearFileHome(req.Path)
+	s.heat.Forget(req.Path)
 	s.notifyReplicaRemove(req.Path, volName)
 	return nil
 }
@@ -487,12 +535,20 @@ func (s *Site) handleRemove(req removeReq) error {
 
 // call routes an operation to the file's storage site; a local target
 // runs the handler directly with no network charge (simnet handles both).
+// An errMoved refusal (the file's primary copy is mid-move) waits the
+// move out and retries against the re-resolved home.
 func (s *Site) callStorage(path, op string, req any) (any, error) {
-	site, err := s.cl.StorageSite(path)
-	if err != nil {
-		return nil, err
+	for attempt := 0; ; attempt++ {
+		site, err := s.cl.StorageSite(path)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := s.ep.Call(site, op, req)
+		if err == nil || attempt >= movedRetries || !errors.Is(err, errMoved) {
+			return resp, err
+		}
+		s.retryMovedWait(attempt)
 	}
-	return s.ep.Call(site, op, req)
 }
 
 // Create makes an empty file at the path's storage site.

@@ -21,6 +21,7 @@ import (
 func (s *Site) Crash() {
 	s.mu.Lock()
 	s.up = false
+	s.epoch++
 	coord := s.coord
 	s.coord = nil
 	vols := make([]*volState, 0, len(s.vols))
@@ -76,6 +77,7 @@ func (s *Site) Restart() error {
 	s.lockCache = make(map[string][]cachedLock)
 	s.cacheMu.Unlock()
 	s.resetLeaseState()
+	s.resetMoving()
 
 	// 1-2: reload volumes, pin prepared pages.  The old volume handles
 	// are fenced first: goroutines from before the crash (phase-two
@@ -95,7 +97,12 @@ func (s *Site) Restart() error {
 		vol.SetTracer(s.tr)
 		vol.SetClock(s.cl.cfg.Clock)
 		vol.Log().StartGroupCommit(s.cl.cfg.groupCommit())
+		// The swap happens under dirMu so pinVol/dirCreateOn (an adoption
+		// spanning this restart) see either old-handle-everywhere (and
+		// fail on the invalidation above) or the new handle consistently.
+		vs.dirMu.Lock()
 		vs.vol = vol
+		vs.dirMu.Unlock()
 		if err := tpc.PinPreparedPages(vol); err != nil {
 			return err
 		}
@@ -121,13 +128,23 @@ func (s *Site) Restart() error {
 			return fmt.Errorf("cluster: reload replica %q: %w", rep.vs.name, err)
 		}
 		vol.SetClock(s.cl.cfg.Clock)
+		rep.vs.dirMu.Lock()
 		rep.vs.vol = vol
+		rep.vs.dirMu.Unlock()
 		if err := rep.vs.loadDirectory(); err != nil {
 			return err
 		}
 		s.mu.Lock()
 		rep.files = make(map[string]*shadow.File)
 		s.mu.Unlock()
+	}
+
+	// Adaptive placement: reclaim any local copy of a file the namespace
+	// homes elsewhere (an ownership move this crash interrupted), before
+	// prepare-record processing - a quiesced move cannot coexist with a
+	// prepared transaction, so the purge never races recovery state.
+	if s.cl.cfg.AdaptivePlacement {
+		s.purgeForeignFiles()
 	}
 
 	// 3a: re-register every surviving prepare record and re-establish its
@@ -139,7 +156,7 @@ func (s *Site) Restart() error {
 	for _, vs := range vols {
 		recs, err := tpc.ReadPrepareRecords(vs.vol)
 		if err != nil {
-			return err
+			return fmt.Errorf("cluster: prepare records of %q: %w", vs.name, err)
 		}
 		for _, rec := range recs {
 			s.relockRecovered(vs, rec)
@@ -162,7 +179,7 @@ func (s *Site) Restart() error {
 	coord, err := s.Coordinator()
 	if err == nil {
 		if rerr := coord.Recover(); rerr != nil {
-			return rerr
+			return fmt.Errorf("cluster: coordinator recovery at site %v: %w", s.id, rerr)
 		}
 	}
 

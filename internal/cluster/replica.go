@@ -313,6 +313,12 @@ func (s *Site) replicaRead(fileID string, off int64, n int) ([]byte, bool) {
 	if rep == nil {
 		return nil, false
 	}
+	if _, moved := s.cl.FileHome(fileID); moved {
+		// The primary migrated since this replica last synced; its copy
+		// refreshes from the new home on the next propagation, so reads
+		// go remote until then.
+		return nil, false
+	}
 	s.mu.Lock()
 	migrated := rep.updating[fileID]
 	f := rep.files[fileID]

@@ -46,6 +46,7 @@ func (s *Site) registerHandlers() {
 	s.registerFileHandlers()
 	s.registerProcHandlers()
 	s.registerReplicaHandlers()
+	s.registerPlacementHandlers()
 	s.ep.Handle("prepare", s.wrap(func(req any) (any, error) { return nil, s.handlePrepare(req.(prepareReq)) }))
 	s.ep.Handle("preparev", s.wrap(func(req any) (any, error) {
 		v, err := s.handlePrepareVote(req.(prepareReq))
@@ -536,7 +537,10 @@ func (s *Site) finishTxn(txid string, fileIDs []string) error {
 		}
 	}
 	s.mu.Unlock()
-	_ = fileIDs
+	// Adaptive placement: with the transaction's locks gone, any of its
+	// files now dominated by a remote accessor migrates there (no-op
+	// unless Config.AdaptivePlacement).
+	s.maybeMovePlacement(fileIDs)
 	return nil
 }
 

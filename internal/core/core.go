@@ -31,7 +31,9 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/costmodel"
 	"repro/internal/lockmgr"
+	"repro/internal/placement"
 	"repro/internal/proc"
 	"repro/internal/simnet"
 	"repro/internal/stats"
@@ -80,6 +82,13 @@ type System struct {
 	active map[string]*txnState
 
 	detector *wfg.Detector
+
+	// Adaptive-placement routing (DESIGN.md section 14), nil/zero unless
+	// cluster.Config.AdaptivePlacement: router keeps per-process site
+	// affinity profiles, placeModel scores a process migration against
+	// staying put.
+	router     *placement.Router
+	placeModel costmodel.Model
 }
 
 // txnState is the coordinator-side view of one live transaction.
@@ -104,6 +113,10 @@ func NewSystem(cfg cluster.Config) *System {
 		cl:     cluster.New(cfg),
 		active: make(map[string]*txnState),
 	}
+	if cfg.AdaptivePlacement {
+		sys.router = placement.NewRouter(cfg.PlacementConfig())
+		sys.placeModel = costmodel.Vax750()
+	}
 	// Section 4.3: when the transaction mechanism is informed of a
 	// change in network topology, it aborts all ongoing transactions
 	// involving sites no longer in the current partition.
@@ -117,6 +130,15 @@ func NewSystem(cfg cluster.Config) *System {
 
 // Cluster exposes the underlying kernel network (benchmarks and tools).
 func (sys *System) Cluster() *cluster.Cluster { return sys.cl }
+
+// SetPlacementModel changes the cost model the Begin-time router scores
+// process migrations under (default Vax750).  No-op when adaptive
+// placement is off.
+func (sys *System) SetPlacementModel(m costmodel.Model) {
+	if sys.router != nil {
+		sys.placeModel = m
+	}
+}
 
 // Stats returns the system-wide counters.
 func (sys *System) Stats() *stats.Set { return sys.cl.Stats() }
@@ -309,6 +331,21 @@ type Process struct {
 	sys  *System
 	pid  int
 	site simnet.SiteID
+	// txnOps counts the current transaction's operations by storage
+	// site - the Begin-time router's affinity feed.  Only touched when
+	// the router exists; a Process handle is single-threaded by contract.
+	txnOps map[simnet.SiteID]int
+}
+
+// noteOp counts one transactional operation against a storage site.
+func (p *Process) noteOp(site simnet.SiteID) {
+	if p.sys.router == nil {
+		return
+	}
+	if p.txnOps == nil {
+		p.txnOps = make(map[simnet.SiteID]int)
+	}
+	p.txnOps[site]++
 }
 
 // PID returns the process identifier.
@@ -344,6 +381,21 @@ func (p *Process) BeginTrans() (int, error) {
 	if ps.TxnID != "" {
 		// Nested: count only.
 		return p.kernel().Procs().BeginTrans(p.pid, ps.TxnID)
+	}
+	// Adaptive placement: if this process's recent transactions ran
+	// mostly against one remote site's storage and the cost model says a
+	// migration beats the round trips, ship the computation to the data
+	// before the transaction starts (section 6 pairs moving the process
+	// to the data with moving the data; the router picks whichever the
+	// heat supports).
+	if p.sys.router != nil {
+		if to, ok := p.sys.router.Preferred(p.pid, p.site, p.sys.placeModel); ok {
+			if err := p.Migrate(to); err == nil {
+				p.sys.Stats().Inc(stats.PlacementMigrations)
+				p.sys.router.Forget(p.pid) // roles swapped; rebuild the profile
+			}
+		}
+		p.txnOps = nil
 	}
 	txid := p.sys.cl.NewTxnID(p.site)
 	n, err := p.kernel().Procs().BeginTrans(p.pid, txid)
@@ -407,11 +459,28 @@ func (p *Process) EndTrans() error {
 		p.sys.mu.Unlock()
 	}()
 	if len(files) == 0 {
-		// Nothing locked inside the transaction: trivially committed.
+		// Nothing locked inside the transaction: trivially committed, and
+		// trivially local - no participant anywhere.
 		p.sys.Stats().Inc(stats.TxnCommits)
+		p.sys.Stats().Inc(stats.LocalCommits)
 		p.sys.prof().TxnEnd(txid, p.sys.cl.Clock().Now(), true)
 		p.kernel().Tracer().Record(trace.TxnCommit, txid, "", 0)
 		return nil
+	}
+	if p.sys.router != nil && len(p.txnOps) > 0 {
+		p.sys.router.NoteTxn(p.pid, p.txnOps)
+		p.txnOps = nil
+	}
+	// Adaptive placement: when a single remote site stores every file,
+	// hand it the coordinator role - prepare and phase two run locally
+	// there (one-phase with FastPaths), and this site pays one round
+	// trip instead of a cross-site protocol.
+	if p.sys.cl.Config().AdaptivePlacement {
+		if target, ok := p.sys.cl.RouteTarget(p.site, files); ok {
+			return p.commitVia(ts, txid, func() error {
+				return p.kernel().RouteCommit(target, txid, files)
+			})
+		}
 	}
 	coord, err := p.kernel().Coordinator()
 	if err != nil {
@@ -423,8 +492,15 @@ func (p *Process) EndTrans() error {
 		}
 		return fmt.Errorf("%w: %v", ErrAborted, err)
 	}
-	// Hand the outcome to the two-phase commit protocol; external abort
-	// triggers stand down from here on.
+	return p.commitVia(ts, txid, func() error {
+		return coord.CommitTransaction(txid, files)
+	})
+}
+
+// commitVia hands the outcome to a commit driver (the local coordinator,
+// or a routed remote one); external abort triggers stand down from here
+// on - only the protocol decides the outcome.
+func (p *Process) commitVia(ts *txnState, txid string, commit func() error) error {
 	p.sys.mu.Lock()
 	if ts != nil {
 		if ts.aborted {
@@ -437,7 +513,7 @@ func (p *Process) EndTrans() error {
 	clk := p.sys.cl.Clock()
 	prof := p.sys.prof()
 	commitT0 := clk.Now()
-	err = coord.CommitTransaction(txid, files)
+	err := commit()
 	prof.Window(txid, telemetry.WinCommit, clk.Now().Sub(commitT0))
 	if err != nil {
 		prof.TxnEnd(txid, clk.Now(), false)

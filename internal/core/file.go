@@ -130,6 +130,7 @@ func (f *File) registerUse() error {
 		return err
 	}
 	f.p.sys.noteTxnSite(ps.TxnID, site)
+	f.p.noteOp(site)
 	return nil
 }
 

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+)
+
+// placementSystem builds the 3-site system with adaptive placement on.
+// MinAccesses is left high enough that file moves stay out of the way
+// unless a test lowers it.
+func placementSystem(t *testing.T, cfg cluster.Config) *System {
+	t.Helper()
+	cfg.AdaptivePlacement = true
+	cfg.SyncPhase2 = true
+	cfg.LockWaitTimeout = 500 * time.Millisecond
+	sys := NewSystem(cfg)
+	for _, id := range []simnet.SiteID{1, 2, 3} {
+		sys.AddSite(id)
+	}
+	for site, vol := range map[simnet.SiteID]string{1: "va", 2: "vb", 3: "vc"} {
+		if err := sys.AddVolume(site, vol); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sys
+}
+
+func TestRoutedCommitFromEndTrans(t *testing.T) {
+	// All files at site 1, process at site 2: EndTrans should hand the
+	// coordinator role to site 1 and the commit should still be durable.
+	sys := placementSystem(t, cluster.Config{PlacementMinAccesses: 1e9})
+	p := mustProcess(t, sys, 2)
+	f := mustCreate(t, p, "va/routed")
+	if _, err := p.BeginTrans(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("routed"), 0); err != nil {
+		t.Fatal(err)
+	}
+	before := sys.Stats().Snapshot()
+	if err := p.EndTrans(); err != nil {
+		t.Fatal(err)
+	}
+	d := sys.Stats().Snapshot().Sub(before)
+	if d.Get(stats.RoutedCommits) != 1 {
+		t.Fatalf("routed commits = %d, want 1", d.Get(stats.RoutedCommits))
+	}
+	if got := readString(t, f, 0, 6); got != "routed" {
+		t.Fatalf("read after routed commit = %q", got)
+	}
+
+	// A transaction spanning two sites must NOT route (no single target)
+	// and must still commit through the local coordinator.
+	g := mustCreate(t, p, "vc/other")
+	if _, err := p.BeginTrans(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("two"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.WriteAt([]byte("site"), 0); err != nil {
+		t.Fatal(err)
+	}
+	before = sys.Stats().Snapshot()
+	if err := p.EndTrans(); err != nil {
+		t.Fatal(err)
+	}
+	d = sys.Stats().Snapshot().Sub(before)
+	if d.Get(stats.RoutedCommits) != 0 {
+		t.Fatalf("split transaction routed (%d routed commits)", d.Get(stats.RoutedCommits))
+	}
+}
+
+func TestBeginTransMigratesHotProcess(t *testing.T) {
+	// A process at site 3 whose transactions run entirely against site
+	// 1's storage, with enough operations per transaction that a process
+	// migration beats the per-op round trips, should be shipped to site
+	// 1 at a later BeginTrans.  MinAccesses=16 keeps per-file heat (2
+	// accesses each) far below the file-move bar, isolating the router.
+	sys := placementSystem(t, cluster.Config{PlacementMinAccesses: 16})
+	p := mustProcess(t, sys, 3)
+	files := make([]*File, 8)
+	for i := range files {
+		files[i] = mustCreate(t, p, "va/hot"+string(rune('a'+i)))
+	}
+	var migrated simnet.SiteID
+	for txn := 0; txn < 4; txn++ {
+		if _, err := p.BeginTrans(); err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range files {
+			if _, err := f.WriteAt([]byte("x"), 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := p.EndTrans(); err != nil {
+			t.Fatal(err)
+		}
+		if p.Site() != 3 && migrated == 0 {
+			migrated = p.Site()
+		}
+	}
+	if p.Site() != 1 {
+		t.Fatalf("process site after hot run = %v, want 1", p.Site())
+	}
+	if n := sys.Stats().Snapshot().Get(stats.PlacementMigrations); n != 1 {
+		t.Fatalf("placement migrations = %d, want 1", n)
+	}
+}

@@ -35,7 +35,8 @@ import (
 // Options selects and bounds one probe sweep.
 type Options struct {
 	// Workload is one of "single", "diff", "tpc", "migrate",
-	// "readonly", "onephase", "lease", or "all"/"" for every workload.
+	// "readonly", "onephase", "lease", "ownermove", or "all"/"" for
+	// every workload.
 	Workload string
 	// Kind optionally restricts the sweep to one I/O class ("data",
 	// "inode", "coordlog", "preparelog"): only stable writes of that
@@ -219,7 +220,7 @@ type workload interface {
 }
 
 func workloads() []workload {
-	return []workload{&singleWL{}, &diffWL{}, &tpcWL{}, &migrateWL{}, &readonlyWL{}, &onephaseWL{}, &leaseWL{}}
+	return []workload{&singleWL{}, &diffWL{}, &tpcWL{}, &migrateWL{}, &readonlyWL{}, &onephaseWL{}, &leaseWL{}, &ownermoveWL{}}
 }
 
 func selectWorkloads(name string) ([]workload, error) {
@@ -277,6 +278,42 @@ type leaser interface {
 	lockLeases() bool
 }
 
+// placer is implemented by workloads that probe locality-adaptive
+// placement (DESIGN.md section 14); the harness then enables it with
+// aggressive knobs so an ownership move fires after two remote
+// accesses, deterministically inside the probed commit.
+type placer interface {
+	adaptivePlacement() bool
+}
+
+// diskRef names one disk of the sweep: the volume at a site.  Most
+// workloads sweep each site's own mounted volume; a sweeper overrides
+// the list (the ownermove workload adds the hosted volume an adopted
+// file lands on at its new home site).
+type diskRef struct {
+	Site   int
+	Volume string
+}
+
+// sweeper is implemented by workloads whose crash surface spans disks
+// beyond the one-mounted-volume-per-site default.  Every listed volume
+// must exist once setup returns.
+type sweeper interface {
+	sweepDisks() []diskRef
+}
+
+// sweepDisksOf returns the workload's disk list.
+func sweepDisksOf(w workload) []diskRef {
+	if sw, ok := w.(sweeper); ok {
+		return sw.sweepDisks()
+	}
+	refs := make([]diskRef, 0, w.sites())
+	for i := 1; i <= w.sites(); i++ {
+		refs = append(refs, diskRef{Site: i, Volume: volName(i)})
+	}
+	return refs
+}
+
 func newHarness(w workload) (*harness, error) {
 	col := trace.NewCollector(0)
 	cfg := cluster.Config{
@@ -294,6 +331,11 @@ func newHarness(w workload) (*harness, error) {
 	if lp, ok := w.(leaser); ok && lp.lockLeases() {
 		cfg.LockLeases = true
 	}
+	if pl, ok := w.(placer); ok && pl.adaptivePlacement() {
+		cfg.AdaptivePlacement = true
+		cfg.PlacementMinAccesses = 2
+		cfg.PlacementCooldown = 2
+	}
 	sys := core.NewSystem(cfg)
 	h := &harness{sys: sys, collector: col, n: w.sites()}
 	for i := 1; i <= h.n; i++ {
@@ -307,12 +349,22 @@ func newHarness(w workload) (*harness, error) {
 	return h, nil
 }
 
-func (h *harness) close()                  { h.sys.Cluster().Shutdown() }
+func (h *harness) close() { h.sys.Cluster().Shutdown() }
 func (h *harness) site(i int) *cluster.Site {
 	return h.sys.Cluster().Site(simnet.SiteID(i))
 }
 func (h *harness) disk(i int) *simdisk.Disk {
 	return h.site(i).Volume(volName(i)).Disk()
+}
+
+// diskAt resolves a sweep disk ref; the volume may be a hosted one
+// (created by an ownership-move adoption), as long as setup created it.
+func (h *harness) diskAt(ref diskRef) *simdisk.Disk {
+	vol := h.site(ref.Site).Volume(ref.Volume)
+	if vol == nil {
+		return nil
+	}
+	return vol.Disk()
 }
 
 // stableWrites reads the probe's write counter for site i's disk.
@@ -323,6 +375,18 @@ func (h *harness) stableWrites(i int, kind simdisk.IOKind, useKind bool) int64 {
 	return h.disk(i).StableWrites()
 }
 
+// stableWritesAt is stableWrites for an arbitrary sweep disk ref.
+func (h *harness) stableWritesAt(ref diskRef, kind simdisk.IOKind, useKind bool) int64 {
+	d := h.diskAt(ref)
+	if d == nil {
+		return 0
+	}
+	if useKind {
+		return d.StableWritesOfKind(kind)
+	}
+	return d.StableWrites()
+}
+
 // recover crash-restarts every site whose disk tripped, then drains
 // resolution: in-doubt participants resolve against coordinator records,
 // coordinators re-drive phase two, and the asynchronous topology-abort
@@ -330,10 +394,17 @@ func (h *harness) stableWrites(i int, kind simdisk.IOKind, useKind bool) int64 {
 // system; a correct one drains in a few iterations.
 func (h *harness) recover() error {
 	for i := 1; i <= h.n; i++ {
-		if h.disk(i).Crashed() {
-			if s := h.site(i); s.Up() {
-				s.Crash()
+		s := h.site(i)
+		crashed := h.disk(i).Crashed()
+		// A site is also down when any hosted volume's disk tripped
+		// (ownership-move adoptions land on hosted volumes).
+		for _, name := range s.Volumes() {
+			if vol := s.Volume(name); vol != nil && vol.Disk().Crashed() {
+				crashed = true
 			}
+		}
+		if crashed && s.Up() {
+			s.Crash()
 		}
 	}
 	for i := 1; i <= h.n; i++ {
@@ -437,14 +508,15 @@ func sweepWorkload(w workload, opts Options) (*WorkloadResult, error) {
 		h.close()
 		return nil, fmt.Errorf("crashprobe: %s setup: %w", w.name(), err)
 	}
-	base := make([]int64, w.sites()+1)
-	for i := 1; i <= w.sites(); i++ {
-		base[i] = h.stableWrites(i, kind, useKind)
+	refs := sweepDisksOf(w)
+	base := make([]int64, len(refs))
+	for i, ref := range refs {
+		base[i] = h.stableWritesAt(ref, kind, useKind)
 	}
 	confirmed := w.run(h)
-	counts := make([]int, w.sites()+1)
-	for i := 1; i <= w.sites(); i++ {
-		counts[i] = int(h.stableWrites(i, kind, useKind) - base[i])
+	counts := make([]int, len(refs))
+	for i, ref := range refs {
+		counts[i] = int(h.stableWritesAt(ref, kind, useKind) - base[i])
 	}
 	w.cleanup(h)
 	h.drain()
@@ -464,8 +536,8 @@ func sweepWorkload(w workload, opts Options) (*WorkloadResult, error) {
 	logf("%s: counting run confirmed=%v state=%s", w.name(), confirmed, wr.Baseline.State)
 
 	// Replay matrix: one disk armed per replay, every index visited.
-	for i := 1; i <= w.sites(); i++ {
-		ds := DiskSweep{Site: i, Volume: volName(i), Writes: counts[i]}
+	for i, ref := range refs {
+		ds := DiskSweep{Site: ref.Site, Volume: ref.Volume, Writes: counts[i]}
 		indices := sampleIndices(counts[i], opts.MaxPointsPerDisk)
 		ds.Swept = len(indices)
 		if ds.Swept < ds.Writes {
@@ -473,7 +545,7 @@ func sweepWorkload(w workload, opts Options) (*WorkloadResult, error) {
 				w.name(), ds.Volume, ds.Swept, ds.Writes)
 		}
 		for _, idx := range indices {
-			pt, err := probePoint(w, i, idx, kind, useKind, opts)
+			pt, err := probePoint(w, ref, idx, kind, useKind, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -488,10 +560,10 @@ func sweepWorkload(w workload, opts Options) (*WorkloadResult, error) {
 	return wr, nil
 }
 
-// probePoint replays the workload once with site's disk armed to fail
-// its (idx+1)-th stable write, then recovers and audits.
-func probePoint(w workload, site, idx int, kind simdisk.IOKind, useKind bool, opts Options) (PointResult, error) {
-	pt := PointResult{Site: site, Volume: volName(site), Index: idx, Kind: opts.Kind}
+// probePoint replays the workload once with the ref'd disk armed to
+// fail its (idx+1)-th stable write, then recovers and audits.
+func probePoint(w workload, ref diskRef, idx int, kind simdisk.IOKind, useKind bool, opts Options) (PointResult, error) {
+	pt := PointResult{Site: ref.Site, Volume: ref.Volume, Index: idx, Kind: opts.Kind}
 	h, err := newHarness(w)
 	if err != nil {
 		return pt, err
@@ -500,18 +572,22 @@ func probePoint(w workload, site, idx int, kind simdisk.IOKind, useKind bool, op
 	if err := w.setup(h); err != nil {
 		return pt, fmt.Errorf("crashprobe: %s setup: %w", w.name(), err)
 	}
+	disk := h.diskAt(ref)
+	if disk == nil {
+		return pt, fmt.Errorf("crashprobe: %s: sweep disk %s@%d does not exist after setup", w.name(), ref.Volume, ref.Site)
+	}
 	if useKind {
-		h.disk(site).CrashAfterWritesOfKind(kind, idx)
+		disk.CrashAfterWritesOfKind(kind, idx)
 	} else {
-		h.disk(site).CrashAfterWrites(idx)
+		disk.CrashAfterWrites(idx)
 	}
 	pt.Confirmed = w.run(h)
-	pt.Fired = h.disk(site).Crashed()
+	pt.Fired = disk.Crashed()
 	if !pt.Fired {
 		// The budget survived the run (the error path at an earlier
 		// point skipped this write): disarm so the audit's own I/O
 		// cannot trip it.
-		h.disk(site).CrashAfterWrites(-1)
+		disk.CrashAfterWrites(-1)
 	}
 	if err := h.recover(); err != nil {
 		return pt, err

@@ -239,3 +239,32 @@ func TestUnknownWorkloadAndKind(t *testing.T) {
 		t.Fatal("unknown kind accepted")
 	}
 }
+
+// TestOwnerMoveMatrix sweeps the adaptive-placement workload: the
+// probed commit's post-commit sweep migrates the hot file's primary
+// copy inline, so crash points land inside the ownership move (source
+// reclaim, hosted-volume adoption, the namespace repoint between them)
+// while a second commit from the old home races the moved file.  Every
+// point must heal to exactly one primary copy with no committed data
+// lost.
+func TestOwnerMoveMatrix(t *testing.T) {
+	res, err := Run(Options{Workload: "ownermove"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireClean(t, res)
+	if fireCount(res) == 0 {
+		t.Fatal("no ownermove crash point fired")
+	}
+	// The sweep must include the hosted volume at the move target -
+	// that is where the adoption's stable writes land.
+	found := false
+	for _, d := range res.Workloads[0].Disks {
+		if d.Site == 2 && d.Volume == "v1" && d.Writes > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("sweep did not cover the hosted v1 volume at site 2")
+	}
+}

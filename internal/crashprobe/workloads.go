@@ -34,6 +34,13 @@ import (
 //	           callback revoke - crash points land inside the lease
 //	           machinery and must never tear either commit
 //
+//	ownermove - locality-adaptive placement on with aggressive knobs: the
+//	           probed commit's post-commit sweep migrates the hot file's
+//	           primary copy to its dominant accessor, inline, so crash
+//	           points land inside the ownership move itself (source
+//	           reclaim, target adoption, the namespace repoint between
+//	           them) while a second commit races the moved file
+//
 // Each run is serial and deterministic: every replay performs the same
 // stable writes in the same order until the armed crash fires.  (The
 // lease workload's revoke callback is a network message, not a stable
@@ -679,3 +686,222 @@ func (w *leaseWL) check(h *harness, confirmed bool) (string, []string) {
 }
 
 func (*leaseWL) cleanup(*harness) {}
+
+// ---------------------------------------------------------------------
+// ownermove: an ownership move fires inside the probed commit, racing a
+// follow-up commit from the file's old home site.
+
+// move2Image is the racing transaction's target state; it follows
+// postImage, so v1/f must march pre -> post -> post2.
+var move2Image = bytes.Repeat([]byte{'E'}, 2600)
+
+type ownermoveWL struct {
+	// confirmed2 records whether the racing commit (from the old home)
+	// was confirmed to its client on this replay.
+	confirmed2 bool
+}
+
+func (*ownermoveWL) name() string            { return "ownermove" }
+func (*ownermoveWL) sites() int              { return 2 }
+func (*ownermoveWL) paths() []string         { return []string{"v1/f", "v1/warm"} }
+func (*ownermoveWL) adaptivePlacement() bool { return true }
+
+// sweepDisks adds the hosted v1 volume at site 2 - the disk the
+// adoption writes land on.  setup's warm move creates it before any
+// fault is armed.
+func (*ownermoveWL) sweepDisks() []diskRef {
+	return []diskRef{{Site: 1, Volume: "v1"}, {Site: 2, Volume: "v2"}, {Site: 2, Volume: "v1"}}
+}
+
+func (*ownermoveWL) setup(h *harness) error {
+	p, err := h.sys.NewProcess(2)
+	if err != nil {
+		return err
+	}
+	// Warm move: three remote commits on v1/warm migrate it to site 2
+	// (the decayed access mass crosses MinAccesses=2 on the third),
+	// creating the hosted v1 volume there so its disk is part of the
+	// sweep from the first armed write.
+	if err := commitFile(p, "v1/warm", preImage); err != nil {
+		return err
+	}
+	f, err := p.Open("v1/warm")
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := p.BeginTrans(); err != nil {
+			return err
+		}
+		if _, err := f.WriteAt(preImage, 0); err != nil {
+			return err
+		}
+		if err := p.EndTrans(); err != nil {
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if h.site(2).Volume("v1") == nil {
+		return fmt.Errorf("ownermove setup: warm move did not create hosted v1 at site 2")
+	}
+	// The probed file: two committed remote accesses, one short of the
+	// move threshold - the probed commit supplies the third.
+	if err := commitFile(p, "v1/f", preImage); err != nil {
+		return err
+	}
+	g, err := p.Open("v1/f")
+	if err != nil {
+		return err
+	}
+	if _, err := p.BeginTrans(); err != nil {
+		return err
+	}
+	if _, err := g.WriteAt(preImage, 0); err != nil {
+		return err
+	}
+	if err := p.EndTrans(); err != nil {
+		return err
+	}
+	if err := g.Close(); err != nil {
+		return err
+	}
+	if home, err := h.sys.Cluster().StorageSite("v1/f"); err != nil || home != 1 {
+		return fmt.Errorf("ownermove setup: v1/f moved early (home %v, err %v)", home, err)
+	}
+	return nil
+}
+
+func (w *ownermoveWL) run(h *harness) bool {
+	w.confirmed2 = false
+	// Probed transaction from site 2: its commit is the second remote
+	// access, so the post-commit sweep moves v1/f to site 2 inline -
+	// the armed crash point can land anywhere inside commit or move.
+	p, err := h.sys.NewProcess(2)
+	if err != nil {
+		return false
+	}
+	f, err := p.Open("v1/f")
+	if err != nil {
+		return false
+	}
+	if _, err := p.BeginTrans(); err != nil {
+		return false
+	}
+	if _, err := f.WriteAt(postImage, 0); err != nil {
+		p.AbortTrans() //nolint:errcheck
+		return false
+	}
+	confirmed := p.EndTrans() == nil
+
+	// Racing commit from the old home site: it resolves the file's
+	// current home (waiting out the fence if the move is mid-flight)
+	// and must land exactly once, wherever the bytes now live.
+	q, err := h.sys.NewProcess(1)
+	if err != nil {
+		return confirmed
+	}
+	g, err := q.Open("v1/f")
+	if err != nil {
+		return confirmed
+	}
+	if _, err := q.BeginTrans(); err != nil {
+		return confirmed
+	}
+	if _, err := g.WriteAt(move2Image, 0); err != nil {
+		q.AbortTrans() //nolint:errcheck
+		return confirmed
+	}
+	w.confirmed2 = q.EndTrans() == nil
+	return confirmed
+}
+
+func (w *ownermoveWL) check(h *harness, confirmed bool) (string, []string) {
+	// Heal pass: restart every site so each runs its foreign-file purge,
+	// then assert single-primary convergence.  (Recovery already
+	// restarted the crashed sites; this makes the garbage-collection
+	// half of the invariant observable at every crash point.)
+	for i := 1; i <= h.n; i++ {
+		s := h.site(i)
+		if s.Up() {
+			s.Crash()
+		}
+		if err := s.Restart(); err != nil {
+			return "unrecoverable", []string{fmt.Sprintf("heal restart site %d: %v", i, err)}
+		}
+	}
+	h.drain()
+
+	var violations []string
+	// Exactly one primary: the namespace resolves each file to one
+	// site, and after the heal pass only that site's v1 volume holds a
+	// local copy.
+	for _, path := range []string{"v1/f", "v1/warm"} {
+		home, err := h.sys.Cluster().StorageSite(path)
+		if err != nil {
+			violations = append(violations, fmt.Sprintf("%s: no resolvable home after heal: %v", path, err))
+			continue
+		}
+		name := path[len("v1/"):]
+		copies := 0
+		for i := 1; i <= h.n; i++ {
+			vol := h.site(i).Volume("v1")
+			if vol == nil {
+				continue
+			}
+			has, err := h.site(i).HasLocalFile("v1", name)
+			if err != nil {
+				violations = append(violations, fmt.Sprintf("%s: local-copy scan at site %d: %v", path, i, err))
+				continue
+			}
+			if has {
+				copies++
+				if simnet.SiteID(i) != home {
+					violations = append(violations,
+						fmt.Sprintf("%s: site %d holds a local copy but the namespace homes it at %v", path, i, home))
+				}
+			}
+		}
+		if copies != 1 {
+			violations = append(violations, fmt.Sprintf("%s: %d local copies after heal, want exactly 1", path, copies))
+		}
+	}
+
+	// Content: pre -> post -> post2, no torn states, confirmations
+	// monotone.
+	got, err := readCommittedPath(h, "v1/f")
+	if err != nil {
+		return "unreadable", append(violations, fmt.Sprintf("v1/f: committed read failed after recovery: %v", err))
+	}
+	var state string
+	switch {
+	case bytes.Equal(got, preImage):
+		state = "pre"
+	case bytes.Equal(got, postImage):
+		state = "post"
+	case bytes.Equal(got, move2Image):
+		state = "post2"
+	default:
+		state = fmt.Sprintf("torn(len=%d)", len(got))
+	}
+	if state != "pre" && state != "post" && state != "post2" {
+		violations = append(violations,
+			fmt.Sprintf("v1/f: committed content matches none of the three images (%s)", state))
+	}
+	if w.confirmed2 && state != "post2" {
+		violations = append(violations,
+			fmt.Sprintf("v1/f: racing commit was confirmed but recovery kept %q", state))
+	}
+	if confirmed && state == "pre" {
+		violations = append(violations,
+			"v1/f: moving commit was confirmed to the client but recovery reverted it")
+	}
+	if warm, err := readCommittedPath(h, "v1/warm"); err != nil || !bytes.Equal(warm, preImage) {
+		violations = append(violations,
+			fmt.Sprintf("v1/warm: committed bytes damaged by the sweep (err=%v len=%d)", err, len(warm)))
+	}
+	return state, violations
+}
+
+func (*ownermoveWL) cleanup(*harness) {}

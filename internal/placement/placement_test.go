@@ -1,0 +1,172 @@
+package placement
+
+import (
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/simnet"
+)
+
+func TestDominantRequiresThresholdAndMass(t *testing.T) {
+	tr := NewTracker(Config{Threshold: 0.6, MinAccesses: 4, Cooldown: 8})
+	const self = simnet.SiteID(1)
+
+	// Below the mass floor: no move even at 100% share.
+	for i := 0; i < 3; i++ {
+		tr.Record("v1/f", 2)
+	}
+	if _, ok := tr.Dominant("v1/f", self); ok {
+		t.Fatal("dominant below MinAccesses")
+	}
+	// Past the floor: site 2 dominates.
+	for i := 0; i < 5; i++ {
+		tr.Record("v1/f", 2)
+	}
+	if s, ok := tr.Dominant("v1/f", self); !ok || s != 2 {
+		t.Fatalf("Dominant = %v,%v, want 2,true", s, ok)
+	}
+	// The dominant accessor being self means no move.
+	if _, ok := tr.Dominant("v1/f", 2); ok {
+		t.Fatal("self-dominant file reported movable")
+	}
+}
+
+func TestDominantHysteresis(t *testing.T) {
+	tr := NewTracker(Config{Threshold: 0.6, MinAccesses: 2, Cooldown: 4})
+	const self = simnet.SiteID(1)
+	// A 50/50 split never crosses a >0.5 threshold.
+	for i := 0; i < 20; i++ {
+		tr.Record("v1/f", 2)
+		tr.Record("v1/f", 3)
+	}
+	if s, ok := tr.Dominant("v1/f", self); ok {
+		t.Fatalf("tied accessors reported dominant %v", s)
+	}
+}
+
+func TestCooldownBlocksRemove(t *testing.T) {
+	tr := NewTracker(Config{Threshold: 0.6, MinAccesses: 2, Cooldown: 10})
+	const self = simnet.SiteID(1)
+	for i := 0; i < 5; i++ {
+		tr.Record("v1/f", 2)
+	}
+	if _, ok := tr.Dominant("v1/f", self); !ok {
+		t.Fatal("no dominant before move")
+	}
+	tr.NoteMove("v1/f")
+	for i := 0; i < 9; i++ {
+		tr.Record("v1/f", 2)
+		if _, ok := tr.Dominant("v1/f", self); ok {
+			t.Fatalf("dominant during cooldown at access %d", i)
+		}
+	}
+	tr.Record("v1/f", 2)
+	if _, ok := tr.Dominant("v1/f", self); !ok {
+		t.Fatal("no dominant after cooldown elapsed")
+	}
+}
+
+func TestDecayForgetsColdAccessor(t *testing.T) {
+	// Short half-life: an old majority fades once a new site takes over.
+	tr := NewTracker(Config{Threshold: 0.6, MinAccesses: 2, Cooldown: 1, HalfLife: 8})
+	const self = simnet.SiteID(1)
+	for i := 0; i < 40; i++ {
+		tr.Record("v1/f", 2)
+	}
+	if s, _ := tr.Dominant("v1/f", self); s != 2 {
+		t.Fatalf("initial dominant = %v", s)
+	}
+	// Site 3 becomes the sole accessor; site 2's mass halves every 8
+	// accesses, so well under 40 accesses flips dominance.
+	for i := 0; i < 40; i++ {
+		tr.Record("v1/f", 3)
+	}
+	if s, ok := tr.Dominant("v1/f", self); !ok || s != 3 {
+		t.Fatalf("after shift Dominant = %v,%v, want 3,true", s, ok)
+	}
+	shares := tr.Shares("v1/f")
+	if shares[3] < 0.9 {
+		t.Fatalf("site 3 share = %.3f after takeover, want > 0.9", shares[3])
+	}
+}
+
+func TestForgetDropsHeat(t *testing.T) {
+	tr := NewTracker(Config{MinAccesses: 1, Threshold: 0.51, Cooldown: 1})
+	for i := 0; i < 10; i++ {
+		tr.Record("v1/f", 2)
+	}
+	tr.Forget("v1/f")
+	if _, ok := tr.Dominant("v1/f", 1); ok {
+		t.Fatal("forgotten file still dominant")
+	}
+	if tr.Shares("v1/f") != nil {
+		t.Fatal("forgotten file still has shares")
+	}
+}
+
+func TestNilTrackerSafe(t *testing.T) {
+	var tr *Tracker
+	tr.Record("x", 1)
+	tr.NoteMove("x")
+	tr.Forget("x")
+	if _, ok := tr.Dominant("x", 1); ok {
+		t.Fatal("nil tracker dominant")
+	}
+	if tr.Shares("x") != nil {
+		t.Fatal("nil tracker shares")
+	}
+}
+
+func TestRouterPrefersDominantRemote(t *testing.T) {
+	r := NewRouter(Config{Threshold: 0.6, MinAccesses: 4})
+	m := costmodel.Vax750()
+	const self = simnet.SiteID(1)
+	// Every transaction does 8 ops against site 2's storage: migrating
+	// (26 ms on the Vax model) beats 8 round trips (128 ms).
+	for i := 0; i < 4; i++ {
+		r.NoteTxn(7, map[simnet.SiteID]int{2: 8})
+	}
+	if s, ok := r.Preferred(7, self, m); !ok || s != 2 {
+		t.Fatalf("Preferred = %v,%v, want 2,true", s, ok)
+	}
+	// From site 2's own point of view there is nothing to do.
+	if _, ok := r.Preferred(7, 2, m); ok {
+		t.Fatal("router suggested migrating to self")
+	}
+	// An unknown process has no preference.
+	if _, ok := r.Preferred(99, self, m); ok {
+		t.Fatal("unknown pid preferred")
+	}
+	r.Forget(7)
+	if _, ok := r.Preferred(7, self, m); ok {
+		t.Fatal("forgotten pid preferred")
+	}
+}
+
+func TestRouterRespectsCostModel(t *testing.T) {
+	r := NewRouter(Config{Threshold: 0.6, MinAccesses: 2})
+	m := costmodel.Vax750()
+	// One op per transaction: one 16 ms round trip saved never repays a
+	// 26 ms migration.
+	for i := 0; i < 8; i++ {
+		r.NoteTxn(7, map[simnet.SiteID]int{2: 1})
+	}
+	if s, ok := r.Preferred(7, 1, m); ok {
+		t.Fatalf("uneconomic migration preferred to %v", s)
+	}
+	if MigratePays(m, 1) {
+		t.Fatal("MigratePays(1 op) on Vax750")
+	}
+	if !MigratePays(m, 8) {
+		t.Fatal("!MigratePays(8 ops) on Vax750")
+	}
+}
+
+func TestNilRouterSafe(t *testing.T) {
+	var r *Router
+	r.NoteTxn(1, map[simnet.SiteID]int{2: 3})
+	r.Forget(1)
+	if _, ok := r.Preferred(1, 1, costmodel.Vax750()); ok {
+		t.Fatal("nil router preferred")
+	}
+}

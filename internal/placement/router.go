@@ -1,0 +1,143 @@
+package placement
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/simnet"
+)
+
+// Router decides, at transaction begin, whether the computation should
+// travel to the data: it keeps a decayed per-process affinity profile
+// (which storage sites the process's recent transactions actually
+// touched, and how many operations each one cost) and weighs a process
+// migration against staying put under the bench's cost model.
+//
+// The router complements the tracker: the tracker moves *files* toward
+// stable accessors, the router moves *processes* toward data too hot or
+// too contended to migrate (e.g. a file dominated by a site the process
+// doesn't run on, or many files co-located away from the process).
+// Safe for concurrent use; nil-safe like the tracker.
+type Router struct {
+	cfg   Config
+	decay float64
+
+	mu    sync.Mutex
+	procs map[int]*procAffinity
+}
+
+// procAffinity is one process's decayed operation counts by storage
+// site, plus its transaction count (for the ops/txn forecast).
+type procAffinity struct {
+	ops  map[simnet.SiteID]float64
+	txns float64
+	tick int64
+}
+
+// NewRouter builds a router sharing the tracker's knob semantics:
+// Threshold is the operation share a remote site must hold, MinAccesses
+// the decayed operation mass, HalfLife the decay horizon (in recorded
+// transactions).  Cooldown is unused - Migrate itself is the hysteresis,
+// since after a move the dominant site is no longer remote.
+func NewRouter(cfg Config) *Router {
+	cfg = cfg.withDefaults()
+	return &Router{
+		cfg:   cfg,
+		decay: math.Exp2(-1 / cfg.HalfLife),
+		procs: make(map[int]*procAffinity),
+	}
+}
+
+// NoteTxn feeds one finished transaction's per-site operation counts
+// into pid's profile.
+func (r *Router) NoteTxn(pid int, opsBySite map[simnet.SiteID]int) {
+	if r == nil || len(opsBySite) == 0 {
+		return
+	}
+	r.mu.Lock()
+	p := r.procs[pid]
+	if p == nil {
+		p = &procAffinity{ops: make(map[simnet.SiteID]float64)}
+		r.procs[pid] = p
+	}
+	p.txns = p.txns*r.decay + 1
+	for s, v := range p.ops {
+		v *= r.decay
+		if v < 1e-6 {
+			delete(p.ops, s)
+		} else {
+			p.ops[s] = v
+		}
+	}
+	for s, n := range opsBySite {
+		p.ops[s] += float64(n)
+	}
+	p.tick++
+	r.mu.Unlock()
+}
+
+// Preferred reports the remote site pid's transactions should run at,
+// if the profile is decisive: the dominant site must hold Threshold of
+// the decayed operation mass, MinAccesses of absolute mass, and the
+// migration must score cheaper under the model (MigratePays).  Ties
+// break to the lowest site id.
+func (r *Router) Preferred(pid int, self simnet.SiteID, m costmodel.Model) (simnet.SiteID, bool) {
+	if r == nil {
+		return 0, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p := r.procs[pid]
+	if p == nil || p.txns <= 0 {
+		return 0, false
+	}
+	var total float64
+	var best simnet.SiteID
+	bestV := -1.0
+	sites := make([]simnet.SiteID, 0, len(p.ops))
+	for s := range p.ops {
+		sites = append(sites, s)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	for _, s := range sites {
+		v := p.ops[s]
+		total += v
+		if v > bestV {
+			best, bestV = s, v
+		}
+	}
+	if best == self || total <= 0 {
+		return 0, false
+	}
+	if bestV < r.cfg.MinAccesses || bestV/total < r.cfg.Threshold {
+		return 0, false
+	}
+	if !MigratePays(m, bestV/p.txns) {
+		return 0, false
+	}
+	return best, true
+}
+
+// Forget drops pid's profile (process exited or migrated - the new
+// site builds its own view, with the local/remote roles swapped).
+func (r *Router) Forget(pid int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	delete(r.procs, pid)
+	r.mu.Unlock()
+}
+
+// MigratePays scores a process migration against staying put, under
+// the cost model: a migration costs InstrProcessMigrate of CPU plus one
+// message round trip, and saves one round trip per remote operation the
+// next transaction is forecast to make.  opsPerTxn is that forecast.
+func MigratePays(m costmodel.Model, opsPerTxn float64) bool {
+	migrate := time.Duration(costmodel.InstrProcessMigrate)*m.InstrTime + 2*m.MsgTime
+	stay := time.Duration(opsPerTxn * float64(2*m.MsgTime))
+	return stay > migrate
+}

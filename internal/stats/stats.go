@@ -91,6 +91,14 @@ const (
 	LeaseRevokes     // leases reclaimed by callback or expiry at the storage site
 	LeaseEscalations // byte-range lease sets escalated to whole-file leases
 
+	// Locality-adaptive placement events (DESIGN.md section 14).
+	LocalCommits        // transactions committed with zero remote participant sites
+	RemoteParticipants  // remote participant sites summed across committed transactions
+	OwnerMoves          // primary copies migrated to the dominant accessor
+	OwnerAdopts         // primary copies installed at a new home by the adoption RPC
+	RoutedCommits       // commits whose coordinator role was routed to the data's site
+	PlacementMigrations // processes shipped to the data by the Begin-time router
+
 	numCounters
 )
 
@@ -133,6 +141,13 @@ var counterNames = [numCounters]string{
 	LeaseHits:          "lease_hits",
 	LeaseRevokes:       "lease_revokes",
 	LeaseEscalations:   "escalations",
+
+	LocalCommits:        "local_commits",
+	RemoteParticipants:  "remote_participants",
+	OwnerMoves:          "owner_moves",
+	OwnerAdopts:         "owner_adopts",
+	RoutedCommits:       "routed_commits",
+	PlacementMigrations: "placement_migrations",
 }
 
 // CounterByName returns the counter with the given snake_case name.

@@ -369,6 +369,30 @@ func (c *Coordinator) prof() *telemetry.Profiler {
 	return c.st.Registry().Profiler()
 }
 
+// recordLocality accounts a committed transaction's placement quality:
+// nParts participant sites, nRemote of them away from the coordinator.
+// A commit with zero remote participants is the placement policies'
+// target metric (local_commits / txn_commits = local commit fraction).
+func (c *Coordinator) recordLocality(nParts, nRemote int) {
+	if nRemote == 0 {
+		c.st.Inc(stats.LocalCommits)
+	} else {
+		c.st.Add(stats.RemoteParticipants, int64(nRemote))
+	}
+	c.st.Registry().Histogram("txn_participant_sites", telemetry.SizeBuckets()).Observe(int64(nParts))
+}
+
+// remoteCount counts the participant sites that are not the coordinator.
+func (c *Coordinator) remoteCount(parts map[simnet.SiteID][]string) int {
+	n := 0
+	for site := range parts {
+		if site != c.site {
+			n++
+		}
+	}
+	return n
+}
+
 // participants groups the file list by storage site.
 func participants(files []proc.FileRef) map[simnet.SiteID][]string {
 	m := make(map[simnet.SiteID][]string)
@@ -514,6 +538,7 @@ func (c *Coordinator) CommitTransaction(txid string, files []proc.FileRef) error
 	if len(readOnly) == len(parts) {
 		c.finish(txid, StatusCommitted)
 		c.st.Inc(stats.TxnCommits)
+		c.recordLocality(len(parts), c.remoteCount(parts))
 		c.trc.Record(trace.TxnCommit, txid, "", 0)
 		return nil
 	}
@@ -537,6 +562,7 @@ func (c *Coordinator) CommitTransaction(txid string, files []proc.FileRef) error
 	}
 	c.mu.Unlock()
 	c.st.Inc(stats.TxnCommits)
+	c.recordLocality(len(parts), c.remoteCount(parts))
 	c.trc.Record(trace.TxnCommit, txid, "", int64(len(p2parts)))
 
 	// Step 4: phase two.  The window is measured only when the
@@ -597,6 +623,7 @@ func (c *Coordinator) commitOnePhase(txid string, parts map[simnet.SiteID][]stri
 	c.done[txid] = StatusCommitted
 	c.mu.Unlock()
 	c.st.Inc(stats.TxnCommits)
+	c.recordLocality(1, c.remoteCount(parts))
 	c.trc.Record(trace.TxnCommit, txid, "", 1)
 	return nil
 }

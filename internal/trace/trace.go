@@ -56,6 +56,17 @@ const (
 	LeaseGrant
 	LeaseRevoke
 	LockEscalate
+	// Adaptive-placement events (DESIGN.md section 14).  OwnerMove is
+	// emitted at the old primary when a file's ownership migrates (Arg =
+	// new home site); RoutedCommit at the transaction's origin site when
+	// its coordinator role is handed to the data's site (Arg = target).
+	OwnerMove
+	RoutedCommit
+	// OwnerAdopt at the new home when an adoption installs a copy (Arg =
+	// MoveID); OwnerPurge there when an abandoned move's copy is
+	// discarded or tombstoned (Arg = MoveID).
+	OwnerAdopt
+	OwnerPurge
 
 	numEventTypes
 )
@@ -87,6 +98,10 @@ var eventNames = [numEventTypes]string{
 	LeaseGrant:        "lease_grant",
 	LeaseRevoke:       "lease_revoke",
 	LockEscalate:      "lock_escalate",
+	OwnerMove:         "owner_move",
+	RoutedCommit:      "routed_commit",
+	OwnerAdopt:        "owner_adopt",
+	OwnerPurge:        "owner_purge",
 }
 
 func (t EventType) String() string {

@@ -159,3 +159,87 @@ func TestGenerateInvariantProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestZipfianSkewAndDeterminism(t *testing.T) {
+	spec := Spec{Pattern: Zipfian, FileSize: 64 * 1024, RecordSize: 64, Count: 5000, Seed: 11, ZipfS: 1.2}
+	a := Generate(spec)
+	b := Generate(spec)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different zipfian strings")
+		}
+	}
+	// Rank 0 (slot 0) must dominate: with s=1.2 over 1024 slots its
+	// share is >20%, and the top decile carries the bulk of the mass.
+	nSlots := int64(64 * 1024 / 64)
+	counts := make(map[int64]int)
+	for _, acc := range a {
+		counts[acc.Off/64]++
+	}
+	if frac := float64(counts[0]) / float64(len(a)); frac < 0.15 {
+		t.Fatalf("hottest slot fraction = %.3f, want > 0.15", frac)
+	}
+	topDecile := 0
+	for slot, n := range counts {
+		if slot < nSlots/10 {
+			topDecile += n
+		}
+	}
+	if frac := float64(topDecile) / float64(len(a)); frac < 0.6 {
+		t.Fatalf("top-decile fraction = %.3f, want > 0.6", frac)
+	}
+}
+
+func TestShiftingHotspotMoves(t *testing.T) {
+	// With a shift period of half the count, the hottest slot of the
+	// first half must differ from the hottest slot of the second half.
+	spec := Spec{Pattern: ShiftingHotspot, FileSize: 64 * 1024, RecordSize: 64,
+		Count: 4000, Seed: 5, ZipfS: 1.2, ShiftPeriod: 2000}
+	accs := Generate(spec)
+	if len(accs) != 4000 {
+		t.Fatalf("count = %d", len(accs))
+	}
+	hottest := func(part []Access) int64 {
+		counts := make(map[int64]int)
+		for _, a := range part {
+			counts[a.Off]++
+		}
+		var best int64
+		bestN := -1
+		for off, n := range counts {
+			if n > bestN || (n == bestN && off < best) {
+				best, bestN = off, n
+			}
+		}
+		return best
+	}
+	h1 := hottest(accs[:2000])
+	h2 := hottest(accs[2000:])
+	if h1 == h2 {
+		t.Fatalf("hotspot did not shift: both halves hottest at %d", h1)
+	}
+	// Determinism across runs.
+	again := Generate(spec)
+	for i := range accs {
+		if accs[i] != again[i] {
+			t.Fatal("same seed produced different shifting-hotspot strings")
+		}
+	}
+}
+
+func TestChooserBounds(t *testing.T) {
+	for _, pat := range []Pattern{Zipfian, ShiftingHotspot} {
+		ch := NewChooser(pat, 48, 3, 0, 0, 1000)
+		for i := 0; i < 1000; i++ {
+			if s := ch.Next(i); s < 0 || s >= 48 {
+				t.Fatalf("%v slot %d out of [0,48)", pat, s)
+			}
+		}
+	}
+}
+
+func TestNewPatternStrings(t *testing.T) {
+	if Zipfian.String() != "zipfian" || ShiftingHotspot.String() != "shifting-hotspot" {
+		t.Fatal("new pattern names")
+	}
+}
